@@ -1,0 +1,153 @@
+// Command epsim runs one energy-proportional datacenter network
+// simulation and prints its measurements.
+//
+// Examples:
+//
+//	epsim -workload search -policy halve-double -independent
+//	epsim -k 15 -n 3 -c 15 -workload uniform -duration 5ms
+//	epsim -policy baseline -workload advert
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"epnet"
+)
+
+func main() {
+	cfg := epnet.DefaultConfig()
+
+	topology := flag.String("topology", string(cfg.Topology), "topology: fbfly | fattree")
+	k := flag.Int("k", cfg.K, "FBFLY radix per dimension (or fat-tree leaf/spine count)")
+	n := flag.Int("n", cfg.N, "FBFLY n (dimensions incl. host dimension)")
+	c := flag.Int("c", cfg.C, "concentration: hosts per switch")
+	workload := flag.String("workload", string(cfg.Workload), "workload: uniform | search | advert | permutation | hotspot | tornado | trace")
+	tracePath := flag.String("trace", "", "trace file for -workload trace (see tracegen)")
+	load := flag.Float64("load", 0, "override workload average utilization (0 = workload default)")
+	policy := flag.String("policy", string(cfg.Policy), "policy: baseline | halve-double | min-max | hysteresis | static-min | queue-aware")
+	routing := flag.String("routing", "adaptive", "routing: adaptive | dor")
+	modeAware := flag.Bool("mode-aware", false, "mode-aware reactivation penalties (CDR vs lane retraining)")
+	failLinks := flag.Int("fail-links", 0, "abruptly fail this many inter-switch link pairs mid-run")
+	target := flag.Float64("target", cfg.TargetUtil, "target channel utilization")
+	independent := flag.Bool("independent", false, "tune unidirectional channels independently")
+	react := flag.Duration("reactivation", cfg.Reactivation, "link reactivation time")
+	epoch := flag.Duration("epoch", 0, "utilization epoch (default 10x reactivation)")
+	warmup := flag.Duration("warmup", cfg.Warmup, "warmup before measurement")
+	duration := flag.Duration("duration", cfg.Duration, "measurement window")
+	seed := flag.Int64("seed", cfg.Seed, "random seed")
+	dyntopo := flag.Bool("dyntopo", false, "enable the dynamic topology controller")
+	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
+	hist := flag.Bool("hist", false, "print the packet latency histogram")
+	powerTrace := flag.Duration("power-trace", 0, "sample instantaneous power at this interval (0 = off)")
+	flag.Parse()
+
+	cfg.Topology = epnet.TopologyKind(*topology)
+	cfg.K, cfg.N, cfg.C = *k, *n, *c
+	cfg.Workload = epnet.WorkloadKind(*workload)
+	cfg.TracePath = *tracePath
+	cfg.Load = *load
+	cfg.Policy = epnet.PolicyKind(*policy)
+	cfg.Routing = epnet.RoutingKind(*routing)
+	cfg.ModeAwareReactivation = *modeAware
+	cfg.FailLinks = *failLinks
+	cfg.TargetUtil = *target
+	cfg.Independent = *independent
+	cfg.Reactivation = *react
+	cfg.Epoch = *epoch
+	cfg.Warmup = *warmup
+	cfg.Duration = *duration
+	cfg.Seed = *seed
+	cfg.DynTopo = *dyntopo
+	cfg.PowerSampleEvery = *powerTrace
+
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "epsim:", err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	res, err := epnet.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "epsim:", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "epsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("network   : %s k=%d n=%d c=%d — %d hosts, %d switches, %d channels\n",
+		cfg.Topology, cfg.K, cfg.N, cfg.C, res.Hosts, res.Switches, res.Channels)
+	fmt.Printf("workload  : %s (avg util measured %.2f%%)\n", cfg.Workload, res.AvgUtil*100)
+	fmt.Printf("policy    : %s target=%.0f%% paired=%v reactivation=%v epoch=%v dyntopo=%v\n",
+		cfg.Policy, cfg.TargetUtil*100, !cfg.Independent, cfg.Reactivation, cfg.Epoch, cfg.DynTopo)
+	fmt.Printf("latency   : mean=%v p50=%v p99=%v max=%v (%d packets)\n",
+		res.MeanLatency, res.P50Latency, res.P99Latency, res.MaxLatency, res.Packets)
+	fmt.Printf("power     : measured-profile=%.1f%%  ideal-channels=%.1f%%  (ideal bound=%.1f%%)\n",
+		res.RelPowerMeasured*100, res.RelPowerIdeal*100, res.AvgUtil*100)
+
+	rates := make([]float64, 0, len(res.RateShare))
+	for r := range res.RateShare {
+		rates = append(rates, r)
+	}
+	sort.Float64s(rates)
+	fmt.Printf("rate share:")
+	for _, r := range rates {
+		fmt.Printf("  %g:%.1f%%", r, res.RateShare[r]*100)
+	}
+	if res.OffShare > 0 {
+		fmt.Printf("  off:%.1f%%", res.OffShare*100)
+	}
+	fmt.Println()
+	fmt.Printf("traffic   : injected=%d delivered=%d backlog=%dB reconfigs=%d dyn-transitions=%d\n",
+		res.InjectedPackets, res.DeliveredPackets, res.BacklogBytes,
+		res.Reconfigurations, res.DynTransitions)
+	fmt.Printf("asymmetry : %.2f  estimated power: %.0f W (%.1f J over the window)\n",
+		res.Asymmetry, res.EstimatedWatts, res.EnergyJoules)
+	if *hist && len(res.LatencyCDF) > 0 {
+		fmt.Println("latency histogram (cumulative):")
+		var cum int64
+		maxCount := res.Packets
+		for _, b := range res.LatencyCDF {
+			cum += b.Count
+			frac := float64(cum) / float64(maxCount)
+			fmt.Printf("  <= %-12v %6.1f%%  %s\n", b.Upper, frac*100, bars(frac, 50))
+		}
+	}
+	if len(res.PowerTrace) > 0 {
+		fmt.Println("power trace (measured profile vs offered load):")
+		for _, s := range res.PowerTrace {
+			fmt.Printf("  %-10v power %5.1f%% %-30s load %5.1f%% %s\n",
+				s.At, s.Measured*100, bars(s.Measured, 30),
+				s.Util*100, bars(s.Util, 30))
+		}
+	}
+	fmt.Printf("wall time : %v\n", elapsed.Round(time.Millisecond))
+}
+
+// bars renders a simple proportional bar.
+func bars(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

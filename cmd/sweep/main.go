@@ -1,0 +1,135 @@
+// Command sweep runs a one-dimensional parameter sweep and emits CSV,
+// for regenerating the paper's figures with any plotting tool.
+//
+// Supported sweep axes:
+//
+//	target       target channel utilization (Figure 9a's x axis)
+//	reactivation link reactivation time, epoch = 10x (Figure 9b's x axis)
+//	load         workload average utilization
+//	radix        FBFLY k (with c = k, n fixed)
+//
+// Examples:
+//
+//	sweep -x target -values 0.25,0.5,0.75 -workload search
+//	sweep -x reactivation -values 100ns,1us,10us -workload uniform -o fig9b.csv
+//	sweep -x load -values 0.02,0.05,0.1,0.2 -workload uniform -independent
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"epnet"
+)
+
+func main() {
+	axis := flag.String("x", "target", "sweep axis: target | reactivation | load | radix")
+	values := flag.String("values", "", "comma-separated axis values (durations for reactivation)")
+	workload := flag.String("workload", "search", "workload")
+	policy := flag.String("policy", "halve-double", "link control policy")
+	independent := flag.Bool("independent", false, "independent channel control")
+	k := flag.Int("k", 8, "FBFLY radix")
+	n := flag.Int("n", 2, "FBFLY n")
+	duration := flag.Duration("duration", 4*time.Millisecond, "measurement window")
+	warmup := flag.Duration("warmup", time.Millisecond, "warmup")
+	seed := flag.Int64("seed", 1, "seed")
+	out := flag.String("o", "", "output CSV file (default stdout)")
+	flag.Parse()
+
+	if *values == "" {
+		fail(fmt.Errorf("-values is required"))
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+
+	header := []string{
+		*axis, "mean_latency_us", "p99_latency_us", "rel_power_measured",
+		"rel_power_ideal", "avg_util", "asymmetry", "reconfigs", "backlog_bytes",
+	}
+	if err := cw.Write(header); err != nil {
+		fail(err)
+	}
+
+	for _, raw := range strings.Split(*values, ",") {
+		raw = strings.TrimSpace(raw)
+		cfg := epnet.DefaultConfig()
+		cfg.K, cfg.N, cfg.C = *k, *n, *k
+		cfg.Workload = epnet.WorkloadKind(*workload)
+		cfg.Policy = epnet.PolicyKind(*policy)
+		cfg.Independent = *independent
+		cfg.Warmup, cfg.Duration = *warmup, *duration
+		cfg.Seed = *seed
+
+		switch *axis {
+		case "target":
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				fail(err)
+			}
+			cfg.TargetUtil = v
+		case "reactivation":
+			d, err := time.ParseDuration(raw)
+			if err != nil {
+				fail(err)
+			}
+			cfg.Reactivation = d
+			cfg.Epoch = 10 * d
+			if min := 40 * cfg.Epoch; cfg.Duration < min {
+				cfg.Duration = min
+			}
+		case "load":
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				fail(err)
+			}
+			cfg.Load = v
+		case "radix":
+			v, err := strconv.Atoi(raw)
+			if err != nil {
+				fail(err)
+			}
+			cfg.K, cfg.C = v, v
+		default:
+			fail(fmt.Errorf("unknown axis %q", *axis))
+		}
+
+		res, err := epnet.Run(cfg)
+		if err != nil {
+			fail(err)
+		}
+		row := []string{
+			raw,
+			fmt.Sprintf("%.3f", float64(res.MeanLatency.Nanoseconds())/1000),
+			fmt.Sprintf("%.3f", float64(res.P99Latency.Nanoseconds())/1000),
+			fmt.Sprintf("%.4f", res.RelPowerMeasured),
+			fmt.Sprintf("%.4f", res.RelPowerIdeal),
+			fmt.Sprintf("%.4f", res.AvgUtil),
+			fmt.Sprintf("%.4f", res.Asymmetry),
+			strconv.FormatInt(res.Reconfigurations, 10),
+			strconv.FormatInt(res.BacklogBytes, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			fail(err)
+		}
+		cw.Flush()
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Command topopower is a capacity-planning calculator for the paper's
+// analytic power models: it compares a flattened butterfly against a
+// bisection-equivalent folded Clos for an arbitrary configuration, and
+// prints the Figure 1 server-vs-network power breakdown for a cluster
+// built around it.
+//
+// Examples:
+//
+//	topopower                          # the paper's 32k-host system
+//	topopower -k 15 -n 3 -c 15 -radix 43
+//	topopower -k 8 -n 4 -c 12 -radix 33   # 3:2 over-subscribed 6144 hosts
+//	topopower -util 0.10                  # Figure 1 at 10% utilization
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"epnet"
+)
+
+func main() {
+	k := flag.Int("k", 8, "FBFLY radix per dimension")
+	n := flag.Int("n", 5, "FBFLY n (dimensions incl. host dimension)")
+	c := flag.Int("c", 8, "concentration (hosts per switch)")
+	radix := flag.Int("radix", 36, "switch chip port count")
+	serverW := flag.Float64("server-watts", 250, "per-server power at peak")
+	util := flag.Float64("util", 0.15, "cluster utilization for the Figure 1 scenario")
+	flag.Parse()
+
+	t, err := epnet.CustomTable1(*k, *n, *c, *radix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topopower:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Topology comparison at %d hosts, %.0f Tb/s bisection (%d-port chips):\n\n",
+		t.FBFLY.Hosts, t.FBFLY.BisectionGbps/1000, *radix)
+	fmt.Printf("%-28s  %16s  %16s\n", "", "folded Clos", "flattened bfly")
+	fmt.Printf("%-28s  %16d  %16d\n", "switch chips", t.Clos.SwitchChips, t.FBFLY.SwitchChips)
+	fmt.Printf("%-28s  %16d  %16d\n", "electrical links", t.Clos.ElectricalLinks, t.FBFLY.ElectricalLinks)
+	fmt.Printf("%-28s  %16d  %16d\n", "optical links", t.Clos.OpticalLinks, t.FBFLY.OpticalLinks)
+	fmt.Printf("%-28s  %14.0f W  %14.0f W\n", "network power", t.Clos.TotalWatts, t.FBFLY.TotalWatts)
+	fmt.Printf("%-28s  %16.2f  %16.2f\n", "W per bisection Gb/s", t.Clos.WattsPerGbps, t.FBFLY.WattsPerGbps)
+	fmt.Printf("\nchoosing the FBFLY saves %.0f W = $%.2fM over four years (PUE 1.6, $0.07/kWh)\n",
+		t.SavingsWatts, t.SavingsDollars/1e6)
+	fmt.Printf("the always-on FBFLY still costs $%.2fM of energy over four years\n\n",
+		t.FBFLYBaselineDollars/1e6)
+
+	servers := t.FBFLY.Hosts
+	full := float64(servers) * *serverW
+	netW := t.Clos.TotalWatts
+	fmt.Printf("Figure 1 scenario (%d servers x %.0f W, folded-Clos network):\n", servers, *serverW)
+	fmt.Printf("  100%% utilization:            network is %4.1f%% of cluster power\n",
+		netW/(full+netW)*100)
+	epServers := full * *util
+	fmt.Printf("  %3.0f%% util, EP servers:       network is %4.1f%% of cluster power\n",
+		*util*100, netW/(epServers+netW)*100)
+	saved := netW * (1 - *util)
+	fmt.Printf("  %3.0f%% util, EP servers+net:   saves %.0f kW = $%.2fM over four years\n",
+		*util*100, saved/1000, epnet.CostOfWatts(saved)/1e6)
+}

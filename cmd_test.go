@@ -1,0 +1,128 @@
+package epnet
+
+// End-to-end smoke tests for the command-line tools: each binary is
+// built once and exercised on its primary path. Skipped with -short.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one cmd into a temp dir and returns its path.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runTool(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCommandsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd smoke tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+
+	t.Run("topopower", func(t *testing.T) {
+		bin := buildTool(t, dir, "topopower")
+		out := runTool(t, bin)
+		for _, want := range []string{"8235", "4096", "1146880", "737280", "975 kW"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("topopower output missing %q", want)
+			}
+		}
+		// Custom shape.
+		out = runTool(t, bin, "-k", "8", "-n", "4", "-c", "12", "-radix", "33")
+		if !strings.Contains(out, "6144 hosts") {
+			t.Errorf("custom topopower output missing host count:\n%s", out)
+		}
+	})
+
+	t.Run("experiments-table1", func(t *testing.T) {
+		bin := buildTool(t, dir, "experiments")
+		out := runTool(t, bin, "-only", "table1")
+		for _, want := range []string{"8235", "4096", "$1.61M", "$2.89M"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("experiments table1 missing %q", want)
+			}
+		}
+	})
+
+	t.Run("tracegen-epsim-pipeline", func(t *testing.T) {
+		tg := buildTool(t, dir, "tracegen")
+		es := buildTool(t, dir, "epsim")
+		trace := filepath.Join(dir, "t.trace")
+		out := runTool(t, tg, "-workload", "advert", "-hosts", "64",
+			"-horizon", "2ms", "-o", trace)
+		if !strings.Contains(out, "wrote") {
+			t.Fatalf("tracegen output: %s", out)
+		}
+		out = runTool(t, tg, "-inspect", trace, "-hosts", "64", "-horizon", "2ms")
+		if !strings.Contains(out, "mean utilization") {
+			t.Errorf("inspect output: %s", out)
+		}
+		out = runTool(t, es, "-workload", "trace", "-trace", trace,
+			"-duration", "1ms", "-warmup", "200us")
+		if !strings.Contains(out, "power") || !strings.Contains(out, "delivered=") {
+			t.Errorf("epsim trace replay output: %s", out)
+		}
+	})
+
+	t.Run("epsim-json", func(t *testing.T) {
+		es := buildTool(t, dir, "epsim")
+		out := runTool(t, es, "-json", "-duration", "300us", "-warmup", "100us")
+		if !strings.Contains(out, "\"RelPowerMeasured\"") ||
+			!strings.Contains(out, "\"RateShare\"") {
+			t.Errorf("epsim -json output incomplete:\n%s", out[:min(len(out), 400)])
+		}
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd smoke tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := buildTool(t, dir, "sweep")
+	out := runTool(t, bin, "-x", "target", "-values", "0.25,0.5",
+		"-workload", "search", "-duration", "500us", "-warmup", "200us")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want header + 2 rows:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "target,mean_latency_us") {
+		t.Errorf("header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if cols := strings.Split(l, ","); len(cols) != 9 {
+			t.Errorf("row has %d columns: %q", len(cols), l)
+		}
+	}
+	// Unknown axis rejected.
+	cmd := exec.Command(bin, "-x", "nope", "-values", "1")
+	if err := cmd.Run(); err == nil {
+		t.Error("unknown axis accepted")
+	}
+}

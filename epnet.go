@@ -1,0 +1,461 @@
+// Package epnet is a library-level reproduction of "Energy Proportional
+// Datacenter Networks" (Abts, Marty, Wells, Klausler, Liu — ISCA 2010).
+//
+// It provides:
+//
+//   - An event-driven simulator of a flattened-butterfly (or fat-tree)
+//     datacenter network with credit-based cut-through flow control,
+//     per-hop adaptive routing, and plesiochronous links whose data rate
+//     can be re-tuned at runtime (Run / Config / Result).
+//   - The paper's energy-proportional link control heuristics: epoch
+//     utilization sensing with halve/double rate adjustment, paired vs
+//     independent unidirectional channel control, aggressive min/max
+//     jumps, and dynamic topologies that power entire links off.
+//   - The analytic power models behind the paper's Table 1 and Figure 1
+//     (flattened butterfly vs folded Clos part counts and operating
+//     cost), the measured switch power profile of Figure 5, and the ITRS
+//     trends of Figure 6.
+//   - The evaluation workloads: Uniform (512 KB random messages) and
+//     synthetic stand-ins for the paper's production Search and Advert
+//     traces (heavy-tailed, low-utilization, asymmetric).
+//
+// The cmd/experiments tool and the benchmarks in bench_test.go
+// regenerate every table and figure of the paper; EXPERIMENTS.md records
+// paper-vs-measured values.
+package epnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// PolicyKind selects the link-rate control policy for a simulation.
+type PolicyKind string
+
+const (
+	// PolicyBaseline keeps every link at full rate — the "always on"
+	// status quo the paper starts from.
+	PolicyBaseline PolicyKind = "baseline"
+	// PolicyHalveDouble is the paper's §3.3 heuristic: below the target
+	// utilization halve the rate, above it double it.
+	PolicyHalveDouble PolicyKind = "halve-double"
+	// PolicyMinMax is the §5.2 aggressive heuristic: jump straight to
+	// the minimum or maximum rate.
+	PolicyMinMax PolicyKind = "min-max"
+	// PolicyHysteresis is a stabilized halve/double variant with a dead
+	// band between target/2 and target.
+	PolicyHysteresis PolicyKind = "hysteresis"
+	// PolicyStaticMin pins every link at the slowest rate — the
+	// low-power bound that "fails to keep up with the offered load".
+	PolicyStaticMin PolicyKind = "static-min"
+	// PolicyQueueAware is halve/double plus a congestion override: a
+	// deep output-queue backlog jumps the link straight to full rate
+	// (the §3.2/§5.2 congestion-sensing input).
+	PolicyQueueAware PolicyKind = "queue-aware"
+)
+
+// RoutingKind selects the per-hop route choice on the FBFLY.
+type RoutingKind string
+
+const (
+	// RoutingAdaptive picks the minimal candidate with the smallest
+	// output queue — the paper's evaluation configuration, and the
+	// mechanism that lets traffic flow around reconfiguring links.
+	RoutingAdaptive RoutingKind = "adaptive"
+	// RoutingDOR is deterministic dimension-order routing: the ablation
+	// showing why adaptivity is an "essential ingredient" (§6).
+	RoutingDOR RoutingKind = "dor"
+)
+
+// WorkloadKind selects the offered traffic.
+type WorkloadKind string
+
+const (
+	// WorkloadUniform is §4.1's synthetic: each host repeatedly sends a
+	// 512 KB message to a new random destination (~23% average load).
+	WorkloadUniform WorkloadKind = "uniform"
+	// WorkloadSearch is the web-search production-trace stand-in
+	// (~6% average load, bursty, asymmetric).
+	WorkloadSearch WorkloadKind = "search"
+	// WorkloadAdvert is the advertising-service production-trace
+	// stand-in (~5% average load).
+	WorkloadAdvert WorkloadKind = "advert"
+	// WorkloadPermutation streams along a fixed random permutation.
+	WorkloadPermutation WorkloadKind = "permutation"
+	// WorkloadHotspot converges all traffic on a few destinations.
+	WorkloadHotspot WorkloadKind = "hotspot"
+	// WorkloadTornado sends each host's traffic halfway around the
+	// cluster — adversarial for ring-degraded (dynamic) topologies.
+	WorkloadTornado WorkloadKind = "tornado"
+	// WorkloadTrace replays a recorded trace file (see Config.TracePath
+	// and cmd/tracegen).
+	WorkloadTrace WorkloadKind = "trace"
+)
+
+// TopologyKind selects the simulated topology.
+type TopologyKind string
+
+const (
+	// TopoFBFLY is the flattened butterfly (k-ary n-flat).
+	TopoFBFLY TopologyKind = "fbfly"
+	// TopoFatTree is a two-level folded Clos with K leaves, K spines
+	// and C hosts per leaf.
+	TopoFatTree TopologyKind = "fattree"
+	// TopoClos3 is a three-tier folded Clos (k-pod fat tree) built from
+	// radix-K chips: K^3/4 hosts on 5K^2/4 switches. N and C are ignored.
+	TopoClos3 TopologyKind = "clos3"
+)
+
+// Config describes one simulation run. The zero value is not runnable;
+// start from DefaultConfig.
+type Config struct {
+	// Topology selects the network shape (default flattened butterfly).
+	Topology TopologyKind
+	// K, N, C give the k-ary n-flat shape with concentration c. The
+	// paper's simulated system is K=15, N=3, C=15 (3,375 hosts); the
+	// default here is a smaller instance for fast runs.
+	K, N, C int
+
+	// Workload selects the offered traffic; Load overrides its default
+	// average utilization when positive.
+	Workload WorkloadKind
+	Load     float64
+	// TracePath is the trace file replayed when Workload is
+	// WorkloadTrace (the binary format written by cmd/tracegen).
+	TracePath string
+
+	// Policy is the link control policy; TargetUtil is its target
+	// channel utilization (paper default 0.5).
+	Policy     PolicyKind
+	TargetUtil float64
+
+	// Independent enables independent control of the two unidirectional
+	// channels of each link (§3.3.1); false ties link pairs together.
+	Independent bool
+
+	// Routing selects adaptive (default) or dimension-order routing.
+	Routing RoutingKind
+
+	// ModeAwareReactivation charges per-transition penalties from the
+	// SerDes model (§3.1: CDR re-lock ~100 ns for rate-only changes,
+	// ~1 µs lane retraining) instead of the flat Reactivation.
+	ModeAwareReactivation bool
+
+	// Reactivation is the link reconfiguration penalty (default 1 µs);
+	// Epoch is the utilization measurement window (default 10x
+	// reactivation, per §4.2.2).
+	Reactivation time.Duration
+	Epoch        time.Duration
+
+	// DynTopo additionally enables the §5.1 dynamic topology
+	// controller (flattened butterfly only).
+	DynTopo bool
+
+	// Warmup and Duration split the run: statistics (latency, power,
+	// occupancy) are collected only during the Duration window after
+	// Warmup ends. Injection runs through both.
+	Warmup   time.Duration
+	Duration time.Duration
+
+	// Seed makes the run reproducible.
+	Seed int64
+
+	// MaxPacket is the segmentation size (default 2048 bytes).
+	MaxPacket int
+
+	// PowerSampleEvery, when positive, samples instantaneous network
+	// power and offered utilization at this interval during the
+	// measurement window, populating Result.PowerTrace — a direct view
+	// of the network's power tracking its load.
+	PowerSampleEvery time.Duration
+
+	// FailLinks, when positive, abruptly powers off this many randomly
+	// chosen inter-switch link pairs FailAfter into the measurement
+	// window (no drain — the failure case of §1's failure-domain
+	// argument). FBFLY with adaptive routing only: the router misroutes
+	// around dead links. FailAfter defaults to one quarter of Duration.
+	FailLinks int
+	FailAfter time.Duration
+}
+
+// DefaultConfig returns a fast-running configuration faithful to the
+// paper's defaults: halve/double policy, 50% target, 1 µs reactivation,
+// 10 µs epoch, paired link control, on an 8-ary 2-flat.
+func DefaultConfig() Config {
+	return Config{
+		Topology:     TopoFBFLY,
+		K:            8,
+		N:            2,
+		C:            8,
+		Workload:     WorkloadSearch,
+		Policy:       PolicyHalveDouble,
+		TargetUtil:   0.5,
+		Independent:  false,
+		Reactivation: time.Microsecond,
+		Epoch:        10 * time.Microsecond,
+		Warmup:       200 * time.Microsecond,
+		Duration:     2 * time.Millisecond,
+		Seed:         1,
+		MaxPacket:    2048,
+	}
+}
+
+// PaperConfig returns the paper's full evaluation configuration: a
+// 15-ary 3-flat with 3,375 hosts. Expect runs to take minutes of wall
+// time at trace-level durations.
+func PaperConfig() Config {
+	c := DefaultConfig()
+	c.K, c.N, c.C = 15, 3, 15
+	return c
+}
+
+// Validate fills defaults and rejects inconsistent configurations.
+func (c *Config) Validate() error {
+	if c.Topology == "" {
+		c.Topology = TopoFBFLY
+	}
+	if c.Topology != TopoFBFLY && c.Topology != TopoFatTree && c.Topology != TopoClos3 {
+		return fmt.Errorf("epnet: unknown topology %q", c.Topology)
+	}
+	if c.DynTopo && c.Topology != TopoFBFLY {
+		return fmt.Errorf("epnet: dynamic topologies require the flattened butterfly")
+	}
+	if c.K < 2 || c.C < 1 {
+		return fmt.Errorf("epnet: K must be >= 2 and C >= 1 (got K=%d C=%d)", c.K, c.C)
+	}
+	if c.Topology == TopoClos3 && (c.K < 4 || c.K%2 != 0) {
+		return fmt.Errorf("epnet: clos3 needs an even K >= 4, got %d", c.K)
+	}
+	if c.Topology == TopoFBFLY && c.N < 2 {
+		return fmt.Errorf("epnet: N must be >= 2, got %d", c.N)
+	}
+	switch c.Workload {
+	case WorkloadUniform, WorkloadSearch, WorkloadAdvert, WorkloadPermutation,
+		WorkloadHotspot, WorkloadTornado:
+	case WorkloadTrace:
+		if c.TracePath == "" {
+			return fmt.Errorf("epnet: trace workload needs TracePath")
+		}
+	case "":
+		c.Workload = WorkloadUniform
+	default:
+		return fmt.Errorf("epnet: unknown workload %q", c.Workload)
+	}
+	switch c.Policy {
+	case PolicyBaseline, PolicyHalveDouble, PolicyMinMax, PolicyHysteresis,
+		PolicyStaticMin, PolicyQueueAware:
+	case "":
+		c.Policy = PolicyBaseline
+	default:
+		return fmt.Errorf("epnet: unknown policy %q", c.Policy)
+	}
+	switch c.Routing {
+	case RoutingAdaptive, RoutingDOR:
+	case "":
+		c.Routing = RoutingAdaptive
+	default:
+		return fmt.Errorf("epnet: unknown routing %q", c.Routing)
+	}
+	if c.Routing == RoutingDOR && c.Topology != TopoFBFLY {
+		return fmt.Errorf("epnet: dimension-order routing requires the flattened butterfly")
+	}
+	if c.FailLinks < 0 {
+		return fmt.Errorf("epnet: negative FailLinks")
+	}
+	if c.FailLinks > 0 {
+		if c.Topology != TopoFBFLY || c.Routing == RoutingDOR {
+			return fmt.Errorf("epnet: link failures need the FBFLY with adaptive routing")
+		}
+		if c.FailAfter < 0 {
+			return fmt.Errorf("epnet: negative FailAfter")
+		}
+	}
+	if c.Load < 0 || c.Load >= 1 {
+		return fmt.Errorf("epnet: load %v out of [0,1)", c.Load)
+	}
+	if c.TargetUtil == 0 {
+		c.TargetUtil = 0.5
+	}
+	if c.TargetUtil < 0 || c.TargetUtil > 1 {
+		return fmt.Errorf("epnet: target utilization %v out of (0,1]", c.TargetUtil)
+	}
+	if c.Reactivation == 0 {
+		c.Reactivation = time.Microsecond
+	}
+	if c.Reactivation < 0 {
+		return fmt.Errorf("epnet: negative reactivation")
+	}
+	if c.Epoch == 0 {
+		c.Epoch = 10 * c.Reactivation
+	}
+	if c.Epoch <= c.Reactivation {
+		return fmt.Errorf("epnet: epoch %v must exceed reactivation %v", c.Epoch, c.Reactivation)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("epnet: duration must be positive")
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("epnet: negative warmup")
+	}
+	if c.MaxPacket == 0 {
+		c.MaxPacket = 2048
+	}
+	if c.MaxPacket < 64 {
+		return fmt.Errorf("epnet: max packet %d too small", c.MaxPacket)
+	}
+	return nil
+}
+
+// Result reports a simulation run's measurements over the post-warmup
+// window.
+type Result struct {
+	Config Config
+
+	Hosts    int
+	Switches int
+	Channels int
+
+	// Latency of packets delivered in the measurement window, from
+	// message offering to tail delivery (includes source queueing).
+	MeanLatency time.Duration
+	P50Latency  time.Duration
+	P99Latency  time.Duration
+	MaxLatency  time.Duration
+	Packets     int64
+
+	// Message-level latency: a message completes when its last packet
+	// arrives. Messages counts completions in the measurement window.
+	MsgMeanLatency time.Duration
+	MsgP99Latency  time.Duration
+	Messages       int64
+
+	// AvgUtil is the measured mean channel utilization — the power an
+	// ideally energy proportional network would consume (relative).
+	AvgUtil float64
+
+	// RelPowerMeasured is network power relative to the always-on
+	// baseline under the measured (Figure 5) channel profile;
+	// RelPowerIdeal under ideally proportional channels (Figure 8b).
+	RelPowerMeasured float64
+	RelPowerIdeal    float64
+
+	// RateShare maps rate in Gb/s to the fraction of channel-time spent
+	// at that rate; OffShare is the fraction powered off.
+	RateShare RateShareMap
+	OffShare  float64
+
+	// ClassPower breaks RelPowerMeasured down by link class
+	// ("electrical", "optical"), each relative to that class's always-on
+	// baseline — the §2.2 packaging-locality distinction.
+	ClassPower map[string]float64
+
+	// Asymmetry measures how unevenly the two directions of links were
+	// used: sum over link pairs of |bytesA - bytesB| / (bytesA + bytesB),
+	// byte-weighted. 0 = perfectly symmetric; 1 = strictly one-way.
+	// High asymmetry is what makes independent channel control (§3.3.1)
+	// valuable.
+	Asymmetry float64
+
+	// EstimatedWatts is the simulated network's mean power under the
+	// measured profile and the paper's part model (100 W/chip + 10 W/NIC
+	// at full rate); EnergyJoules integrates it over the measurement
+	// window.
+	EstimatedWatts float64
+	EnergyJoules   float64
+
+	// LatencyCDF is the packet-latency histogram (ascending bucket upper
+	// bounds), for CDF plots.
+	LatencyCDF []LatencyBucket
+
+	// Reconfigurations counts rate changes; DynTransitions counts
+	// dynamic topology mode changes.
+	Reconfigurations int64
+	DynTransitions   int64
+
+	// Delivery accounting over the whole run (including warmup).
+	InjectedPackets  int64
+	DeliveredPackets int64
+	BacklogBytes     int64
+	DeliveredBytes   int64
+
+	// PeakQueueBytes is the deepest switch output queue observed — the
+	// buffering the congestion-sensing mechanism had to ride out.
+	PeakQueueBytes int64
+
+	// PowerTrace is the time series sampled every
+	// Config.PowerSampleEvery (empty when sampling is off).
+	PowerTrace []PowerSample
+}
+
+// PowerSample is one instant of the power-vs-load time series.
+type PowerSample struct {
+	// At is the time since the measurement window began.
+	At time.Duration
+	// Measured and Ideal are instantaneous network power under the two
+	// profiles, relative to always-on.
+	Measured float64
+	Ideal    float64
+	// Util is the network utilization over the preceding interval.
+	Util float64
+}
+
+// LatencyBucket is one cell of a latency histogram: Count packets with
+// latency at or below Upper (and above the previous bucket's bound).
+type LatencyBucket struct {
+	Upper time.Duration
+	Count int64
+}
+
+// RateShareMap maps a rate in Gb/s to a fraction of channel-time. It
+// marshals to JSON with string keys (JSON objects cannot have numeric
+// keys).
+type RateShareMap map[float64]float64
+
+// MarshalJSON implements json.Marshaler.
+func (m RateShareMap) MarshalJSON() ([]byte, error) {
+	keys := make([]float64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q:%g", strconv.FormatFloat(k, 'g', -1, 64), m[k])
+	}
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *RateShareMap) UnmarshalJSON(data []byte) error {
+	var raw map[string]float64
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	out := make(RateShareMap, len(raw))
+	for k, v := range raw {
+		f, err := strconv.ParseFloat(k, 64)
+		if err != nil {
+			return fmt.Errorf("epnet: rate share key %q: %w", k, err)
+		}
+		out[f] = v
+	}
+	*m = out
+	return nil
+}
+
+// String summarizes the result in one line.
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s: mean=%v p99=%v util=%.1f%% power(measured)=%.1f%% power(ideal)=%.1f%%",
+		r.Config.Workload, r.Config.Policy,
+		r.MeanLatency, r.P99Latency, r.AvgUtil*100,
+		r.RelPowerMeasured*100, r.RelPowerIdeal*100)
+}

@@ -1,0 +1,74 @@
+// Websearch: evaluate energy-proportional networking for a web-search
+// cluster — the scenario that motivates the paper's §1. A search
+// service is latency-sensitive and runs at low average network
+// utilization, so its network burns near-peak power for single-digit
+// duty cycles. This example quantifies, for the Search trace:
+//
+//  1. the power left on the table by an always-on fabric,
+//
+//  2. what the paper's link tuning recovers with today's switch chips,
+//
+//  3. what independent unidirectional channel control adds (search
+//     traffic is read-heavy and therefore highly asymmetric), and
+//
+//  4. the latency each step costs.
+//
+//     go run ./examples/websearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"epnet"
+)
+
+func main() {
+	base := epnet.DefaultConfig()
+	base.Workload = epnet.WorkloadSearch
+	base.Warmup = time.Millisecond
+	base.Duration = 4 * time.Millisecond
+
+	type step struct {
+		name string
+		cfg  epnet.Config
+	}
+	steps := []step{
+		{"always-on fabric (status quo)", withPolicy(base, epnet.PolicyBaseline, false)},
+		{"paper heuristic, paired links", withPolicy(base, epnet.PolicyHalveDouble, false)},
+		{"paper heuristic, independent channels", withPolicy(base, epnet.PolicyHalveDouble, true)},
+	}
+
+	fmt.Println("web-search cluster, 64-host flattened butterfly, 40 Gb/s links")
+	fmt.Println()
+	var baseline epnet.Result
+	for i, s := range steps {
+		res, err := epnet.Run(s.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			baseline = res
+		}
+		fmt.Printf("%s\n", s.name)
+		fmt.Printf("  power (today's chips)   : %5.1f%% of baseline\n", res.RelPowerMeasured*100)
+		fmt.Printf("  power (ideal channels)  : %5.1f%% of baseline\n", res.RelPowerIdeal*100)
+		fmt.Printf("  mean latency            : %v (+%v vs baseline)\n",
+			res.MeanLatency, res.MeanLatency-baseline.MeanLatency)
+		if i > 0 {
+			_, dollars := epnet.SavingsProjection(res.RelPowerIdeal)
+			fmt.Printf("  32k-host 4yr projection : $%.2fM saved with proportional channels\n", dollars/1e6)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("the lower bound: network average utilization was %.1f%% — a perfectly\n", baseline.AvgUtil*100)
+	fmt.Printf("energy-proportional network would consume exactly that fraction of peak power.\n")
+}
+
+func withPolicy(cfg epnet.Config, p epnet.PolicyKind, independent bool) epnet.Config {
+	cfg.Policy = p
+	cfg.Independent = independent
+	return cfg
+}

@@ -1,0 +1,3 @@
+module epnet
+
+go 1.22

@@ -1,0 +1,57 @@
+package epnet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPaperScaleIntegration runs the paper's exact evaluation topology —
+// a 15-ary 3-flat with 3,375 hosts and 13,050 channels — for a short
+// window and validates the headline §4.2.1 result end to end: with the
+// halve/double policy, independent channel control and ideal channels,
+// Search-like traffic runs at a small fraction of baseline power while
+// still delivering its load. Skipped with -short (it takes a few
+// seconds).
+func TestPaperScaleIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale integration test skipped in -short mode")
+	}
+	cfg := PaperConfig()
+	cfg.Workload = WorkloadSearch
+	cfg.Policy = PolicyHalveDouble
+	cfg.Independent = true
+	cfg.Warmup = 200 * time.Microsecond
+	cfg.Duration = 500 * time.Microsecond
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hosts != 3375 || res.Switches != 225 {
+		t.Fatalf("topology: %d hosts %d switches, want 3375/225", res.Hosts, res.Switches)
+	}
+	// 6,750 host channels + 6,300 inter-switch channels.
+	if res.Channels != 13050 {
+		t.Fatalf("channels = %d, want 13050", res.Channels)
+	}
+	// Power: the paper reports 17% of baseline for Search with ideal
+	// channels and independent control. Allow a generous band for the
+	// short window.
+	if res.RelPowerIdeal < 0.08 || res.RelPowerIdeal > 0.30 {
+		t.Errorf("ideal power = %.1f%%, want ~17%% (paper)", res.RelPowerIdeal*100)
+	}
+	// The measured profile floors at 42%.
+	if res.RelPowerMeasured < 0.42 || res.RelPowerMeasured > 0.65 {
+		t.Errorf("measured power = %.1f%%, want in [42%%, 65%%]", res.RelPowerMeasured*100)
+	}
+	// Traffic flows: the vast majority of injected packets deliver
+	// within the window.
+	if res.DeliveredPackets == 0 ||
+		float64(res.DeliveredPackets) < 0.5*float64(res.InjectedPackets) {
+		t.Errorf("delivered %d of %d packets", res.DeliveredPackets, res.InjectedPackets)
+	}
+	// Most channel-time sits at the lowest rate (Figure 7's shape).
+	if res.RateShare[2.5] < 0.5 {
+		t.Errorf("2.5G share = %.1f%%, want majority", res.RateShare[2.5]*100)
+	}
+}

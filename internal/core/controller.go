@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+
+	"epnet/internal/fabric"
+	"epnet/internal/link"
+	"epnet/internal/sim"
+	"epnet/internal/topo"
+)
+
+// Controller is the energy-proportional link controller. Every Epoch it
+// measures the utilization of every channel, asks the Policy for the
+// next rate, and reconfigures channels whose rate changes, paying the
+// Reactivation penalty. Decisions are purely local to each link — the
+// property that makes this mechanism a natural fit for the flattened
+// butterfly, whose routing decisions are local too (§3.2).
+type Controller struct {
+	Net    *fabric.Network
+	Policy Policy
+
+	// Epoch is the utilization measurement window. The paper sizes it
+	// at 10x the reactivation time, bounding reconfiguration overhead
+	// to 10% (§4.2.2).
+	Epoch sim.Time
+
+	// Reactivation is the link-reconfiguration penalty (1 us default,
+	// "a conservative value", §4.1).
+	Reactivation sim.Time
+
+	// Paired, when true, ties both unidirectional channels of a link to
+	// the same rate, driven by the busier direction — current chips'
+	// behavior. When false, each channel is tuned independently (the
+	// paper's proposed switch-design improvement, §3.3.1).
+	Paired bool
+
+	// IncludeHostLinks extends tuning to host-switch links (default in
+	// Start unless explicitly disabled via SkipHostLinks).
+	SkipHostLinks bool
+
+	// ModeAware, when true, replaces the flat Reactivation penalty with
+	// the SerDes model of §3.1: a rate-only change merely re-locks the
+	// receive CDR (~100 ns) while a lane-count change retrains the link
+	// (~1 us). The paper's §5.2 suggests better algorithms "take into
+	// account the difference in link resynchronization latency".
+	ModeAware  bool
+	ReactModel link.ReactivationModel
+	Modes      []link.Mode
+
+	// Reconfigurations counts rate changes applied, for reports.
+	Reconfigurations int64
+
+	started bool
+}
+
+// DefaultController returns the paper's evaluation configuration: the
+// halve/double policy at 50% target utilization, 1 us reactivation, and
+// a 10 us epoch, with paired link control.
+func DefaultController(net *fabric.Network) *Controller {
+	return &Controller{
+		Net:          net,
+		Policy:       HalveDouble{Target: 0.5},
+		Epoch:        10 * sim.Microsecond,
+		Reactivation: sim.Microsecond,
+		Paired:       true,
+	}
+}
+
+// Start validates the configuration and schedules the periodic epoch
+// ticks on the network's engine.
+func (c *Controller) Start() error {
+	if c.started {
+		return fmt.Errorf("core: controller already started")
+	}
+	if c.Net == nil {
+		return fmt.Errorf("core: controller needs a network")
+	}
+	if c.Policy == nil {
+		return fmt.Errorf("core: controller needs a policy")
+	}
+	if c.Epoch <= 0 {
+		return fmt.Errorf("core: epoch must be positive, got %v", c.Epoch)
+	}
+	if c.Reactivation < 0 {
+		return fmt.Errorf("core: negative reactivation %v", c.Reactivation)
+	}
+	if c.Reactivation >= c.Epoch {
+		return fmt.Errorf("core: reactivation %v must be shorter than epoch %v",
+			c.Reactivation, c.Epoch)
+	}
+	if c.ModeAware {
+		if c.Modes == nil {
+			c.Modes = link.InfiniBandModes()
+		}
+		if c.ReactModel == (link.ReactivationModel{}) {
+			c.ReactModel = link.DefaultReactivation()
+		}
+	}
+	c.started = true
+	c.Net.E.After(c.Epoch, c.tick)
+	return nil
+}
+
+// reactivationFor returns the penalty for reconfiguring from one rate
+// to another.
+func (c *Controller) reactivationFor(from, to link.Rate) sim.Time {
+	if !c.ModeAware {
+		return c.Reactivation
+	}
+	fm, ok1 := link.ModeFor(from, c.Modes)
+	tm, ok2 := link.ModeFor(to, c.Modes)
+	if !ok1 || !ok2 {
+		return c.Reactivation
+	}
+	return c.ReactModel.Penalty(fm, tm)
+}
+
+// signalsFor gathers the policy inputs for one channel: its epoch
+// utilization and the backlog queued behind it at its source.
+func (c *Controller) signalsFor(ch *fabric.Chan, now sim.Time) Signals {
+	s := Signals{
+		Util: ch.L.EpochUtilization(now),
+		Rate: ch.L.Rate(),
+	}
+	switch ch.Src.Kind {
+	case topo.KindSwitch:
+		s.QueueBytes = c.Net.Switches[ch.Src.ID].QueueBytes(ch.Src.Port)
+	case topo.KindHost:
+		s.QueueBytes = c.Net.Hosts[ch.Src.ID].BacklogBytes()
+	}
+	return s
+}
+
+func (c *Controller) tick(now sim.Time) {
+	if c.Paired {
+		for _, pair := range c.Net.Pairs() {
+			if c.skip(pair[0]) {
+				continue
+			}
+			a, b := pair[0].L, pair[1].L
+			if a.State(now) == link.Off || b.State(now) == link.Off {
+				continue // dynamic topology owns powered-off links
+			}
+			// The pair must satisfy the busier direction (§3.3.1).
+			sa := c.signalsFor(pair[0], now)
+			sb := c.signalsFor(pair[1], now)
+			s := sa
+			if sb.Util > s.Util {
+				s.Util = sb.Util
+			}
+			if sb.QueueBytes > s.QueueBytes {
+				s.QueueBytes = sb.QueueBytes
+			}
+			next := c.Policy.Decide(s, a.Ladder())
+			if next != a.Rate() {
+				react := c.reactivationFor(a.Rate(), next)
+				a.SetRate(now, next, react)
+				b.SetRate(now, next, react)
+				c.Reconfigurations += 2
+			}
+			a.ResetEpoch(now)
+			b.ResetEpoch(now)
+		}
+	} else {
+		for _, ch := range c.Net.Channels() {
+			if c.skip(ch) {
+				continue
+			}
+			l := ch.L
+			if l.State(now) == link.Off {
+				continue
+			}
+			next := c.Policy.Decide(c.signalsFor(ch, now), l.Ladder())
+			if next != l.Rate() {
+				l.SetRate(now, next, c.reactivationFor(l.Rate(), next))
+				c.Reconfigurations++
+			}
+			l.ResetEpoch(now)
+		}
+	}
+	c.Net.E.After(c.Epoch, c.tick)
+}
+
+func (c *Controller) skip(ch *fabric.Chan) bool {
+	if !c.SkipHostLinks {
+		return false
+	}
+	return ch.Src.Kind == topo.KindHost || ch.Dst.Kind == topo.KindHost
+}

@@ -1,0 +1,158 @@
+// Package core implements the paper's contribution: energy proportional
+// communication by dynamically tuning the data rate (and power) of every
+// network channel to track its offered load.
+//
+// The mechanism (§3.3): each switch tracks the utilization of each of
+// its links over an epoch, then adjusts the link at the epoch boundary —
+// below the target utilization, the rate is halved (down to the
+// minimum); above it, the rate is doubled (up to the maximum). Link
+// reactivation makes the channel unavailable for a configurable time;
+// traffic routes around it via the fabric's adaptive routing, exactly as
+// the paper proposes.
+//
+// The package also implements the §5.2 "better heuristics" (immediate
+// min/max jumps, hysteresis) and the §5.1 dynamic topology controller
+// that powers entire links off to degrade FBFLY dimensions to rings
+// (torus) and back.
+package core
+
+import (
+	"fmt"
+
+	"epnet/internal/link"
+)
+
+// Signals carries the per-link inputs available to a policy at an epoch
+// boundary. The paper's base heuristic uses utilization alone, because
+// "utilization effectively captures both" data availability and credit
+// availability (§3.3); richer policies may also consult the output
+// queue backlog, which is the same congestion signal the adaptive
+// routing uses (§3.2, §5.2).
+type Signals struct {
+	// Util is the fraction of the last epoch the channel spent
+	// serializing bits, in [0, 1].
+	Util float64
+	// QueueBytes is the backlog in the output queue feeding this
+	// channel at the epoch boundary.
+	QueueBytes int64
+	// Rate is the channel's current configured rate.
+	Rate link.Rate
+}
+
+// Policy decides a channel's next rate from its epoch signals.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Decide returns the rate for the next epoch.
+	Decide(s Signals, ladder link.RateLadder) link.Rate
+}
+
+// HalveDouble is the paper's §3.3 heuristic: utilization below the
+// target halves the link rate; above the target doubles it. The paper
+// defaults to a 50% target: set too high the network saturates, too low
+// it wastes power.
+type HalveDouble struct {
+	Target float64
+}
+
+// Name implements Policy.
+func (p HalveDouble) Name() string { return fmt.Sprintf("halve-double(%.0f%%)", p.Target*100) }
+
+// Decide implements Policy.
+func (p HalveDouble) Decide(s Signals, ladder link.RateLadder) link.Rate {
+	switch {
+	case s.Util > p.Target:
+		return ladder.Up(s.Rate)
+	case s.Util < p.Target:
+		return ladder.Down(s.Rate)
+	default:
+		return s.Rate
+	}
+}
+
+// MinMax is the §5.2 aggressive heuristic: "with bursty workloads, it
+// may be advantageous to immediately tune links to either their lowest
+// or highest performance mode without going through the intermediate
+// steps".
+type MinMax struct {
+	Target float64
+}
+
+// Name implements Policy.
+func (p MinMax) Name() string { return fmt.Sprintf("min-max(%.0f%%)", p.Target*100) }
+
+// Decide implements Policy.
+func (p MinMax) Decide(s Signals, ladder link.RateLadder) link.Rate {
+	if s.Util > p.Target {
+		return ladder.Max()
+	}
+	if s.Util < p.Target {
+		return ladder.Min()
+	}
+	return s.Rate
+}
+
+// Hysteresis is a stabilized variant of HalveDouble (a "better
+// algorithm" in the spirit of §5.2): the downgrade threshold is half the
+// upgrade threshold, so a link whose post-downgrade utilization lands
+// between the thresholds does not flap between two rates every epoch,
+// avoiding the "meta-instability arising from too-frequent
+// reconfiguration" the paper warns about.
+type Hysteresis struct {
+	Target float64 // upgrade above this
+}
+
+// Name implements Policy.
+func (p Hysteresis) Name() string { return fmt.Sprintf("hysteresis(%.0f%%)", p.Target*100) }
+
+// Decide implements Policy.
+func (p Hysteresis) Decide(s Signals, ladder link.RateLadder) link.Rate {
+	if s.Util > p.Target {
+		return ladder.Up(s.Rate)
+	}
+	if s.Util < p.Target/2 {
+		return ladder.Down(s.Rate)
+	}
+	return s.Rate
+}
+
+// Static pins every channel at a fixed rate: the always-on baseline
+// (max) and the always-slow comparison (min) of §4.2.1.
+type Static struct {
+	Rate link.Rate
+}
+
+// Name implements Policy.
+func (p Static) Name() string { return fmt.Sprintf("static(%v)", p.Rate) }
+
+// Decide implements Policy.
+func (p Static) Decide(Signals, link.RateLadder) link.Rate { return p.Rate }
+
+// QueueAware extends HalveDouble with the congestion input the paper
+// suggests for better algorithms (§3.2, §5.2): a backlog above
+// BurstBytes jumps the link straight to the maximum rate instead of
+// climbing one step per epoch, clearing bursts sooner at the cost of a
+// brief power spike.
+type QueueAware struct {
+	Target     float64
+	BurstBytes int64
+}
+
+// Name implements Policy.
+func (p QueueAware) Name() string { return fmt.Sprintf("queue-aware(%.0f%%)", p.Target*100) }
+
+// Decide implements Policy.
+func (p QueueAware) Decide(s Signals, ladder link.RateLadder) link.Rate {
+	if s.QueueBytes > p.BurstBytes {
+		return ladder.Max()
+	}
+	return HalveDouble{Target: p.Target}.Decide(s, ladder)
+}
+
+var (
+	_ Policy = HalveDouble{}
+	_ Policy = MinMax{}
+	_ Policy = Hysteresis{}
+	_ Policy = Static{}
+	_ Policy = QueueAware{}
+)

@@ -1,0 +1,58 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+
+	"epnet/internal/routing"
+	"epnet/internal/sim"
+	"epnet/internal/topo"
+)
+
+// BenchmarkNetworkThroughput measures raw simulated-packet throughput
+// on an 8-ary 2-flat under uniform random single-packet messages.
+func BenchmarkNetworkThroughput(b *testing.B) {
+	e := sim.New()
+	f := topo.MustFBFLY(8, 2, 8)
+	n, err := New(e, f, routing.NewFBFLY(f), DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := rng.Intn(64)
+		dst := rng.Intn(64)
+		if dst == src {
+			dst = (dst + 1) % 64
+		}
+		n.InjectMessage(src, dst, 2048)
+		if i%1024 == 1023 {
+			e.Run() // drain periodically
+		}
+	}
+	e.Run()
+	b.StopTimer()
+	inj, _ := n.Injected()
+	del, _ := n.Delivered()
+	if inj != del {
+		b.Fatalf("lost packets: %d != %d", inj, del)
+	}
+}
+
+// BenchmarkChoosePort measures the adaptive route choice on a
+// multi-path topology.
+func BenchmarkChoosePort(b *testing.B) {
+	e := sim.New()
+	f := topo.MustFBFLY(8, 3, 8) // 2 dims: multiple candidates
+	n, err := New(e, f, routing.NewFBFLY(f), DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw := n.Switches[0]
+	pkt := &Packet{Dst: f.NumHosts() - 1, Size: 2048}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.choosePort(pkt, 0)
+	}
+}

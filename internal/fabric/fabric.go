@@ -1,0 +1,365 @@
+// Package fabric turns a static topology into a running network of
+// simulated switches, hosts and plesiochronous channels.
+//
+// The model follows §4.1 of the paper: switches are input- and
+// output-buffered with credit-based, cut-through flow control, and route
+// adaptively on each hop based solely on output queue depth. One
+// deliberate simplification (documented in DESIGN.md): switch-internal
+// output queues are unbounded while input buffers are finite and
+// credit-governed, which removes routing-deadlock hazards without
+// virtual channels while preserving the congestion signal the adaptive
+// routing and energy-proportional heuristics consume.
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"epnet/internal/link"
+	"epnet/internal/routing"
+	"epnet/internal/sim"
+	"epnet/internal/topo"
+)
+
+// Config holds the fabric's physical parameters.
+type Config struct {
+	// Ladder is the set of rates every channel supports.
+	Ladder link.RateLadder
+	// MaxPacket is the segmentation size for messages, bytes.
+	MaxPacket int
+	// InputBufBytes is the per-input-port buffer (credit pool) size.
+	InputBufBytes int
+	// RoutingDelay is the per-hop routing/arbitration latency.
+	RoutingDelay sim.Time
+	// WireDelay is the propagation delay of every channel.
+	WireDelay sim.Time
+	// CreditDelay is the latency of returning a credit upstream.
+	CreditDelay sim.Time
+	// Seed drives adaptive-routing tie-breaking.
+	Seed int64
+
+	// CostBusyTime, when true, augments the adaptive routing cost with
+	// the byte-equivalent of each candidate channel's remaining busy or
+	// reactivation time — the richer congestion signal §3.2 notes that
+	// credit-based flow control and channel state can provide. With the
+	// default (false), route choice uses output queue depth alone, the
+	// paper's evaluation configuration.
+	CostBusyTime bool
+}
+
+// DefaultConfig returns parameters representative of the paper's
+// 40 Gb/s switch fabric.
+func DefaultConfig() Config {
+	return Config{
+		Ladder:        link.DefaultLadder(),
+		MaxPacket:     2048,
+		InputBufBytes: 64 * 1024,
+		RoutingDelay:  100 * sim.Nanosecond,
+		WireDelay:     50 * sim.Nanosecond,
+		CreditDelay:   50 * sim.Nanosecond,
+		Seed:          1,
+	}
+}
+
+// validate fills defaults and rejects nonsense.
+func (c *Config) validate() error {
+	if c.Ladder == nil {
+		c.Ladder = link.DefaultLadder()
+	}
+	if err := c.Ladder.Validate(); err != nil {
+		return err
+	}
+	if c.MaxPacket <= 0 {
+		return fmt.Errorf("fabric: MaxPacket must be positive, got %d", c.MaxPacket)
+	}
+	if c.InputBufBytes < c.MaxPacket {
+		return fmt.Errorf("fabric: input buffer (%d) smaller than a packet (%d)",
+			c.InputBufBytes, c.MaxPacket)
+	}
+	if c.RoutingDelay < 0 || c.WireDelay < 0 || c.CreditDelay < 0 {
+		return fmt.Errorf("fabric: negative delay")
+	}
+	return nil
+}
+
+// Chan is one directed channel of the fabric: a link.Channel plus the
+// sender-side credit pool mirroring the downstream input buffer.
+type Chan struct {
+	L        *link.Channel
+	Src, Dst topo.Endpoint
+
+	credits int64 // available downstream input-buffer bytes
+	waiting bool  // the sender is blocked awaiting credits
+	net     *Network
+}
+
+// takeCredits consumes n credits if available.
+func (c *Chan) takeCredits(n int) bool {
+	if c.credits < int64(n) {
+		return false
+	}
+	c.credits -= int64(n)
+	return true
+}
+
+// returnCredits gives back n credits and wakes a blocked sender.
+func (c *Chan) returnCredits(n int, now sim.Time) {
+	c.credits += int64(n)
+	if c.waiting {
+		c.waiting = false
+		c.net.wakeSender(c, now)
+	}
+}
+
+// Credits returns the available credits (tests and diagnostics).
+func (c *Chan) Credits() int64 { return c.credits }
+
+// Network is a simulated network instance bound to an event engine.
+type Network struct {
+	E   *sim.Engine
+	T   topo.Topology
+	R   routing.Router
+	Cfg Config
+
+	Switches []*Switch
+	Hosts    []*Host
+
+	chans []*Chan    // every directed channel
+	pairs [][2]*Chan // both directions of each physical link
+
+	rng *rand.Rand
+
+	// OnDeliver, when set, observes every delivered packet.
+	OnDeliver func(p *Packet, now sim.Time)
+
+	// OnMessageDone, when set before any injection, observes every
+	// completed message (all of its packets delivered).
+	OnMessageDone func(msgID int64, src, dst int, inject, done sim.Time)
+	msgRemaining  map[int64]int
+	msgInject     map[int64]sim.Time
+
+	nextPktID      int64
+	nextMsgID      int64
+	injectedPkts   int64
+	injectedMsgs   int64
+	deliveredPkts  int64
+	injectedBytes  int64
+	deliveredBytes int64
+}
+
+// New builds a network over topology t with router r.
+func New(e *sim.Engine, t topo.Topology, r routing.Router, cfg Config) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		E:   e,
+		T:   t,
+		R:   r,
+		Cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	n.Switches = make([]*Switch, t.NumSwitches())
+	for sw := range n.Switches {
+		n.Switches[sw] = newSwitch(n, sw, t.Radix())
+	}
+	n.Hosts = make([]*Host, t.NumHosts())
+	for h := range n.Hosts {
+		n.Hosts[h] = newHost(n, h)
+	}
+
+	// Wire channels: host attachments first, then inter-switch links.
+	for h := 0; h < t.NumHosts(); h++ {
+		sw, port := t.HostAttachment(h)
+		up := n.newChan(
+			topo.Endpoint{Kind: topo.KindHost, ID: h},
+			topo.Endpoint{Kind: topo.KindSwitch, ID: sw, Port: port},
+			int64(cfg.InputBufBytes))
+		down := n.newChan(
+			topo.Endpoint{Kind: topo.KindSwitch, ID: sw, Port: port},
+			topo.Endpoint{Kind: topo.KindHost, ID: h},
+			math.MaxInt64/4) // hosts sink at line rate; effectively unlimited
+		n.Hosts[h].out = up
+		n.Switches[sw].out[port] = down
+		n.pairs = append(n.pairs, [2]*Chan{up, down})
+	}
+	for sw := 0; sw < t.NumSwitches(); sw++ {
+		for p := 0; p < t.Radix(); p++ {
+			peer, ok := t.Peer(sw, p)
+			if !ok || peer.Kind != topo.KindSwitch {
+				continue
+			}
+			if peer.ID < sw || (peer.ID == sw && peer.Port < p) {
+				continue // wire each link once
+			}
+			fwd := n.newChan(
+				topo.Endpoint{Kind: topo.KindSwitch, ID: sw, Port: p},
+				topo.Endpoint{Kind: topo.KindSwitch, ID: peer.ID, Port: peer.Port},
+				int64(cfg.InputBufBytes))
+			rev := n.newChan(
+				topo.Endpoint{Kind: topo.KindSwitch, ID: peer.ID, Port: peer.Port},
+				topo.Endpoint{Kind: topo.KindSwitch, ID: sw, Port: p},
+				int64(cfg.InputBufBytes))
+			n.Switches[sw].out[p] = fwd
+			n.Switches[peer.ID].out[peer.Port] = rev
+			n.pairs = append(n.pairs, [2]*Chan{fwd, rev})
+		}
+	}
+	return n, nil
+}
+
+func (n *Network) newChan(src, dst topo.Endpoint, credits int64) *Chan {
+	name := fmt.Sprintf("%v->%v", src, dst)
+	c := &Chan{
+		L:       link.MustChannel(name, n.Cfg.Ladder),
+		Src:     src,
+		Dst:     dst,
+		credits: credits,
+		net:     n,
+	}
+	n.chans = append(n.chans, c)
+	return c
+}
+
+// Channels returns every directed channel.
+func (n *Network) Channels() []*Chan { return n.chans }
+
+// Pairs returns the two directions of every physical link.
+func (n *Network) Pairs() [][2]*Chan { return n.pairs }
+
+// InterSwitchChannels returns only switch-to-switch channels.
+func (n *Network) InterSwitchChannels() []*Chan {
+	var out []*Chan
+	for _, c := range n.chans {
+		if c.Src.Kind == topo.KindSwitch && c.Dst.Kind == topo.KindSwitch {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// wakeSender resumes the entity blocked on channel c's credits.
+func (n *Network) wakeSender(c *Chan, now sim.Time) {
+	switch c.Src.Kind {
+	case topo.KindHost:
+		n.Hosts[c.Src.ID].pump(now)
+	case topo.KindSwitch:
+		n.Switches[c.Src.ID].pumpOut(c.Src.Port, now)
+	}
+}
+
+// InjectMessage offers a size-byte message from host src to host dst at
+// the current simulation time, segmenting it into packets.
+func (n *Network) InjectMessage(src, dst, size int) {
+	if src < 0 || src >= len(n.Hosts) || dst < 0 || dst >= len(n.Hosts) {
+		panic(fmt.Sprintf("fabric: inject %d->%d out of range", src, dst))
+	}
+	if size <= 0 {
+		panic(fmt.Sprintf("fabric: inject non-positive size %d", size))
+	}
+	now := n.E.Now()
+	h := n.Hosts[src]
+	n.nextMsgID++
+	n.injectedMsgs++
+	if n.OnMessageDone != nil {
+		if n.msgRemaining == nil {
+			n.msgRemaining = make(map[int64]int)
+			n.msgInject = make(map[int64]sim.Time)
+		}
+		n.msgRemaining[n.nextMsgID] = n.PacketsPerMessage(size)
+		n.msgInject[n.nextMsgID] = now
+	}
+	for off := 0; off < size; off += n.Cfg.MaxPacket {
+		sz := n.Cfg.MaxPacket
+		if size-off < sz {
+			sz = size - off
+		}
+		n.nextPktID++
+		p := &Packet{ID: n.nextPktID, MsgID: n.nextMsgID, Src: src, Dst: dst,
+			Size: sz, Inject: now}
+		h.q.push(p)
+		h.backlogBytes += int64(sz)
+		n.injectedPkts++
+		n.injectedBytes += int64(sz)
+	}
+	h.pump(now)
+}
+
+// deliverAcross moves pkt over channel c: it was transmitted during
+// [start, done]; schedule its arrival on the far side and the credit
+// return for this channel.
+func (n *Network) deliverAcross(c *Chan, pkt *Packet, start, done sim.Time) {
+	headIn := start + n.Cfg.WireDelay
+	tailIn := done + n.Cfg.WireDelay
+	pkt.HeadIn, pkt.TailIn = headIn, tailIn
+	switch c.Dst.Kind {
+	case topo.KindHost:
+		host := n.Hosts[c.Dst.ID]
+		n.E.At(tailIn, func(now sim.Time) { host.deliver(pkt, now) })
+	case topo.KindSwitch:
+		dsw := n.Switches[c.Dst.ID]
+		at := headIn + n.Cfg.RoutingDelay
+		n.E.At(at, func(now sim.Time) {
+			// The packet leaves the input buffer for an output queue
+			// once routed; return the credit upstream after the credit
+			// propagation delay.
+			n.E.At(now+n.Cfg.CreditDelay, func(cnow sim.Time) {
+				c.returnCredits(pkt.Size, cnow)
+			})
+			dsw.arrive(pkt, now)
+		})
+	}
+}
+
+// InjectedMessages returns the number of messages offered.
+func (n *Network) InjectedMessages() int64 { return n.injectedMsgs }
+
+// PacketsPerMessage returns how many packets message size bytes
+// segments into under the current configuration.
+func (n *Network) PacketsPerMessage(size int) int {
+	return (size + n.Cfg.MaxPacket - 1) / n.Cfg.MaxPacket
+}
+
+// Injected returns total injected packets and bytes.
+func (n *Network) Injected() (pkts, bytes int64) { return n.injectedPkts, n.injectedBytes }
+
+// Delivered returns total delivered packets and bytes.
+func (n *Network) Delivered() (pkts, bytes int64) { return n.deliveredPkts, n.deliveredBytes }
+
+// HostBacklogBytes returns the bytes queued at source hosts — growth
+// over time means the network is not keeping up with offered load.
+func (n *Network) HostBacklogBytes() int64 {
+	var total int64
+	for _, h := range n.Hosts {
+		total += h.backlogBytes
+	}
+	return total
+}
+
+// InFlightPackets returns injected minus delivered packets.
+func (n *Network) InFlightPackets() int64 { return n.injectedPkts - n.deliveredPkts }
+
+// NumHosts returns the number of hosts (satisfies traffic.Target).
+func (n *Network) NumHosts() int { return len(n.Hosts) }
+
+// PeakQueueBytes returns the deepest output queue observed at any
+// switch, a direct read on worst-case buffering demand.
+func (n *Network) PeakQueueBytes() int64 {
+	var peak int64
+	for _, s := range n.Switches {
+		if s.peakQueue > peak {
+			peak = s.peakQueue
+		}
+	}
+	return peak
+}
+
+// RoutedPackets sums switch routing decisions (one per packet per hop).
+func (n *Network) RoutedPackets() int64 {
+	var total int64
+	for _, s := range n.Switches {
+		total += s.routedPackets
+	}
+	return total
+}

@@ -1,0 +1,65 @@
+package fabric
+
+import (
+	"epnet/internal/sim"
+)
+
+// Packet is the unit of transfer in the simulator. Messages larger than
+// the configured maximum packet size are segmented into multiple packets
+// at the source host.
+type Packet struct {
+	ID    int64
+	MsgID int64 // message this packet belongs to
+	Src   int   // source host
+	Dst   int   // destination host
+	Size  int   // bytes
+
+	// Inject is when the message this packet belongs to was offered at
+	// the source host; packet latency is measured from this point, so it
+	// includes source queueing (which is how a network that "fails to
+	// keep up with the offered host load" becomes visible).
+	Inject sim.Time
+
+	// HeadIn and TailIn are the head and tail arrival times at the
+	// current hop; TailIn constrains when a cut-through switch may
+	// finish retransmitting the packet.
+	HeadIn, TailIn sim.Time
+
+	// Hops counts switch traversals.
+	Hops int
+}
+
+// pktQueue is an allocation-friendly FIFO of packets.
+type pktQueue struct {
+	items []*Packet
+	head  int
+}
+
+func (q *pktQueue) empty() bool { return q.head >= len(q.items) }
+
+func (q *pktQueue) len() int { return len(q.items) - q.head }
+
+func (q *pktQueue) push(p *Packet) { q.items = append(q.items, p) }
+
+func (q *pktQueue) peek() *Packet { return q.items[q.head] }
+
+func (q *pktQueue) pop() *Packet {
+	p := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return p
+}
+
+// drain removes and returns all queued packets.
+func (q *pktQueue) drain() []*Packet {
+	out := make([]*Packet, 0, q.len())
+	for !q.empty() {
+		out = append(out, q.pop())
+	}
+	return out
+}

@@ -1,0 +1,302 @@
+package fabric
+
+import (
+	"fmt"
+
+	"epnet/internal/link"
+	"epnet/internal/sim"
+)
+
+// Switch is an input/output-buffered crossbar switch. Input buffering is
+// expressed through the upstream sender's credit pool; output queues are
+// held here, and their depth in bytes is the adaptive routing signal.
+type Switch struct {
+	net *Network
+	id  int
+
+	out         []*Chan // per-port output channel (nil on unused ports)
+	queues      []pktQueue
+	queuedBytes []int64
+	closing     []bool // dynamic topology: port drains, takes no new packets
+
+	wakeAt      []sim.Time
+	wakePending []bool
+
+	candBuf []int
+
+	// Diagnostics.
+	routedPackets int64
+	peakQueue     int64 // max output-queue depth seen, bytes
+}
+
+func newSwitch(n *Network, id, radix int) *Switch {
+	return &Switch{
+		net:         n,
+		id:          id,
+		out:         make([]*Chan, radix),
+		queues:      make([]pktQueue, radix),
+		queuedBytes: make([]int64, radix),
+		closing:     make([]bool, radix),
+		wakeAt:      make([]sim.Time, radix),
+		wakePending: make([]bool, radix),
+		candBuf:     make([]int, 0, radix),
+	}
+}
+
+// ID returns the switch index.
+func (s *Switch) ID() int { return s.id }
+
+// QueueBytes returns the output queue depth (bytes) of a port.
+func (s *Switch) QueueBytes(port int) int64 { return s.queuedBytes[port] }
+
+// QueuedPackets returns the output queue length (packets) of a port.
+func (s *Switch) QueuedPackets(port int) int { return s.queues[port].len() }
+
+// SetClosing marks a port as draining (dynamic topologies): the adaptive
+// route chooser stops selecting it for new packets.
+func (s *Switch) SetClosing(port int, closing bool) { s.closing[port] = closing }
+
+// Closing reports whether a port is draining.
+func (s *Switch) Closing(port int) bool { return s.closing[port] }
+
+// arrive processes a routed packet: choose an output port adaptively and
+// enqueue it.
+func (s *Switch) arrive(pkt *Packet, now sim.Time) {
+	pkt.Hops++
+	port := s.choosePort(pkt, now)
+	s.enqueue(port, pkt, now)
+}
+
+// enqueue appends pkt to a port's output queue and pumps the port.
+func (s *Switch) enqueue(port int, pkt *Packet, now sim.Time) {
+	s.queues[port].push(pkt)
+	s.queuedBytes[port] += int64(pkt.Size)
+	if s.queuedBytes[port] > s.peakQueue {
+		s.peakQueue = s.queuedBytes[port]
+	}
+	s.routedPackets++
+	s.pumpOut(port, now)
+}
+
+// PumpPort re-evaluates a port's output queue after an external state
+// change (e.g. a link failure or power transition), rerouting queued
+// packets if the channel is gone.
+func (s *Switch) PumpPort(port int, now sim.Time) { s.pumpOut(port, now) }
+
+// RoutedPackets returns the number of packets this switch has enqueued.
+func (s *Switch) RoutedPackets() int64 { return s.routedPackets }
+
+// PeakQueueBytes returns the deepest output queue (bytes) observed.
+func (s *Switch) PeakQueueBytes() int64 { return s.peakQueue }
+
+// choosePort picks among the router's minimal candidates the port with
+// the smallest output queue (in bytes) — the paper's per-hop adaptive
+// routing. Powered-off and draining ports are avoided; ties break
+// uniformly at random.
+func (s *Switch) choosePort(pkt *Packet, now sim.Time) int {
+	cands := s.net.R.Candidates(s.id, pkt.Dst, s.candBuf[:0])
+	if len(cands) == 0 {
+		panic(fmt.Sprintf("fabric: sw%d has no route to host %d", s.id, pkt.Dst))
+	}
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	const closingPenalty = int64(1) << 40
+	best := -1
+	var bestCost int64
+	nBest := 0
+	for _, p := range cands {
+		ch := s.out[p]
+		if ch == nil {
+			continue
+		}
+		cost := s.queuedBytes[p]
+		if s.net.Cfg.CostBusyTime {
+			// Add the byte-equivalent of time until the channel can
+			// accept a new packet (in-flight tail, CDR re-lock, lane
+			// retraining) at its current rate.
+			if at, on := ch.L.AvailableAt(now); on && at > now {
+				waitNs := int64((at - now) / sim.Nanosecond)
+				bytesPerSec := int64(ch.L.Rate()) / 8
+				cost += bytesPerSec * waitNs / 1_000_000_000
+			}
+		}
+		if s.closing[p] {
+			cost += closingPenalty
+		}
+		if ch.L.State(now) == link.Off {
+			cost += 2 * closingPenalty
+		}
+		switch {
+		case best == -1 || cost < bestCost:
+			best, bestCost, nBest = p, cost, 1
+		case cost == bestCost:
+			// Reservoir-sample among ties for unbiased spreading.
+			nBest++
+			if s.net.rng.Intn(nBest) == 0 {
+				best = p
+			}
+		}
+	}
+	if best == -1 {
+		panic(fmt.Sprintf("fabric: sw%d candidates %v all unwired for host %d", s.id, cands, pkt.Dst))
+	}
+	return best
+}
+
+// scheduleWake arranges a pumpOut(port) call at time at, deduplicating
+// against an already-scheduled earlier wake.
+func (s *Switch) scheduleWake(port int, at sim.Time) {
+	if s.wakePending[port] && s.wakeAt[port] <= at {
+		return
+	}
+	s.wakePending[port] = true
+	s.wakeAt[port] = at
+	s.net.E.At(at, func(now sim.Time) {
+		s.wakePending[port] = false
+		s.pumpOut(port, now)
+	})
+}
+
+// pumpOut transmits queued packets on a port while the channel and
+// credits allow; otherwise it arranges to be woken.
+func (s *Switch) pumpOut(port int, now sim.Time) {
+	q := &s.queues[port]
+	for !q.empty() {
+		ch := s.out[port]
+		if ch == nil {
+			panic(fmt.Sprintf("fabric: sw%d pump on unwired port %d", s.id, port))
+		}
+		avail, on := ch.L.AvailableAt(now)
+		if !on {
+			// Channel was powered off with packets queued (a dynamic
+			// topology transition raced a packet in). Re-route them.
+			s.rerouteQueue(port, now)
+			return
+		}
+		if avail > now {
+			s.scheduleWake(port, avail)
+			return
+		}
+		pkt := q.peek()
+		// Cut-through causality: retransmission may not finish before
+		// the tail has arrived here.
+		if t := pkt.TailIn - ch.L.Rate().TransmitTime(pkt.Size); t > now {
+			s.scheduleWake(port, t)
+			return
+		}
+		if !ch.takeCredits(pkt.Size) {
+			ch.waiting = true
+			return
+		}
+		q.pop()
+		s.queuedBytes[port] -= int64(pkt.Size)
+		done := ch.L.StartTransmit(now, pkt.Size)
+		s.net.deliverAcross(ch, pkt, now, done)
+	}
+}
+
+// rerouteQueue drains a dead port's queue back through route selection.
+func (s *Switch) rerouteQueue(port int, now sim.Time) {
+	pkts := s.queues[port].drain()
+	s.queuedBytes[port] = 0
+	for _, pkt := range pkts {
+		newPort := s.choosePort(pkt, now)
+		if newPort == port {
+			// No alternative: keep it here and hope the controller
+			// powers the link back on; avoid infinite recursion.
+			s.queues[port].push(pkt)
+			s.queuedBytes[port] += int64(pkt.Size)
+			continue
+		}
+		s.enqueue(newPort, pkt, now)
+	}
+}
+
+// Host is a server NIC: an injection queue feeding the host's uplink
+// channel, and the sink side that records deliveries.
+type Host struct {
+	net *Network
+	id  int
+
+	out          *Chan
+	q            pktQueue
+	backlogBytes int64
+
+	wakeAt      sim.Time
+	wakePending bool
+}
+
+func newHost(n *Network, id int) *Host {
+	return &Host{net: n, id: id}
+}
+
+// ID returns the host index.
+func (h *Host) ID() int { return h.id }
+
+// BacklogBytes returns bytes waiting in the injection queue.
+func (h *Host) BacklogBytes() int64 { return h.backlogBytes }
+
+func (h *Host) scheduleWake(at sim.Time) {
+	if h.wakePending && h.wakeAt <= at {
+		return
+	}
+	h.wakePending = true
+	h.wakeAt = at
+	h.net.E.At(at, func(now sim.Time) {
+		h.wakePending = false
+		h.pump(now)
+	})
+}
+
+// pump injects queued packets while the uplink and credits allow.
+func (h *Host) pump(now sim.Time) {
+	for !h.q.empty() {
+		avail, on := h.out.L.AvailableAt(now)
+		if !on {
+			return // host links are never powered off in practice
+		}
+		if avail > now {
+			h.scheduleWake(avail)
+			return
+		}
+		pkt := h.q.peek()
+		if !h.out.takeCredits(pkt.Size) {
+			h.out.waiting = true
+			return
+		}
+		h.q.pop()
+		h.backlogBytes -= int64(pkt.Size)
+		done := h.out.L.StartTransmit(now, pkt.Size)
+		h.net.deliverAcross(h.out, pkt, now, done)
+	}
+}
+
+// deliver sinks a packet at its destination.
+func (h *Host) deliver(pkt *Packet, now sim.Time) {
+	if pkt.Dst != h.id {
+		panic(fmt.Sprintf("fabric: host %d received packet for %d", h.id, pkt.Dst))
+	}
+	h.net.deliveredPkts++
+	h.net.deliveredBytes += int64(pkt.Size)
+	if h.net.OnDeliver != nil {
+		h.net.OnDeliver(pkt, now)
+	}
+	if h.net.OnMessageDone != nil {
+		if rem, ok := h.net.msgRemaining[pkt.MsgID]; ok {
+			rem--
+			if rem == 0 {
+				h.net.OnMessageDone(pkt.MsgID, pkt.Src, pkt.Dst,
+					h.net.msgInject[pkt.MsgID], now)
+				delete(h.net.msgRemaining, pkt.MsgID)
+				delete(h.net.msgInject, pkt.MsgID)
+			} else {
+				h.net.msgRemaining[pkt.MsgID] = rem
+			}
+		}
+	}
+}
+
+// Uplink returns the host's injection channel (for tests and the energy
+// controller, which tunes host links too).
+func (h *Host) Uplink() *Chan { return h.out }

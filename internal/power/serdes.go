@@ -1,0 +1,199 @@
+package power
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file models the §6 challenge the paper leaves to channel
+// designers: "system designers should work to optimize the high-speed
+// channel designs to be more energy efficient by choosing optimal data
+// rate and equalization technology", citing Hatamkhani & Yang's "A
+// study of the optimal data rate for minimum power of I/Os" [10].
+//
+// The model follows [10]'s structure: a serial link's power has
+//
+//   - a rate-independent fixed overhead (bias, clocking, CDR),
+//   - a term linear in data rate (switching the serializer datapath),
+//   - an equalization term that grows super-linearly with rate because
+//     channel loss in dB grows ~linearly with frequency, and the
+//     equalizer must burn power proportional to the loss it cancels.
+//
+// Energy per bit, p(R)/R, is therefore U-shaped in the data rate R:
+// at low rates the fixed overhead is amortized over few bits; at high
+// rates equalization dominates. The optimum shifts down as the channel
+// gets longer (lossier) — which is why short electrical hops and long
+// optical hops want different lane rates.
+
+// Equalization models the complexity of the receive/transmit
+// equalizers a channel needs.
+type Equalization int
+
+const (
+	// EqNone: a short, clean channel (on-board trace < ~10 cm).
+	EqNone Equalization = iota
+	// EqCTLE: continuous-time linear equalizer, for passive copper up
+	// to a few meters.
+	EqCTLE
+	// EqDFE: decision-feedback equalizer with multiple taps, for long
+	// or lossy channels.
+	EqDFE
+)
+
+func (e Equalization) String() string {
+	switch e {
+	case EqNone:
+		return "none"
+	case EqCTLE:
+		return "ctle"
+	case EqDFE:
+		return "dfe"
+	default:
+		return fmt.Sprintf("Equalization(%d)", int(e))
+	}
+}
+
+// SerDesDesign describes one lane design point.
+type SerDesDesign struct {
+	// FixedMW is the rate-independent overhead per lane, milliwatts.
+	FixedMW float64
+	// DatapathMWPerGbps is the linear datapath cost.
+	DatapathMWPerGbps float64
+	// EqMW is the equalizer coefficient: the equalization term is
+	// EqMW * (lossDBPerGHz * R/2)^EqExponent, with R in Gb/s (the
+	// Nyquist frequency of an NRZ signal at R is R/2 GHz).
+	EqMW       float64
+	EqExponent float64
+	// LossDBPerGHz is the channel's loss slope; longer/lossier channels
+	// have larger values.
+	LossDBPerGHz float64
+	// Eq is the equalizer technology, which bounds the loss the lane
+	// can close: none ~6 dB, CTLE ~15 dB, DFE ~30 dB at Nyquist.
+	Eq Equalization
+}
+
+// maxLossDB returns the equalizer's closeable loss budget.
+func (d SerDesDesign) maxLossDB() float64 {
+	switch d.Eq {
+	case EqNone:
+		return 6
+	case EqCTLE:
+		return 15
+	default:
+		return 30
+	}
+}
+
+// Feasible reports whether the design can run at rate gbps: the channel
+// loss at Nyquist must fit the equalizer's budget.
+func (d SerDesDesign) Feasible(gbps float64) bool {
+	return d.LossDBPerGHz*gbps/2 <= d.maxLossDB()
+}
+
+// LaneMW returns the lane power at rate gbps, milliwatts.
+func (d SerDesDesign) LaneMW(gbps float64) float64 {
+	loss := d.LossDBPerGHz * gbps / 2
+	return d.FixedMW + d.DatapathMWPerGbps*gbps + d.EqMW*math.Pow(loss, d.EqExponent)
+}
+
+// EnergyPJPerBit returns the lane's energy per bit at rate gbps,
+// picojoules.
+func (d SerDesDesign) EnergyPJPerBit(gbps float64) float64 {
+	if gbps <= 0 {
+		return math.Inf(1)
+	}
+	// mW / Gbps = pJ/bit.
+	return d.LaneMW(gbps) / gbps
+}
+
+// ShortCopperDesign models the paper's intra-group electrical links
+// (<1 m passive copper): low loss, CTLE suffices. Parameters are set so
+// a lane at 10 Gb/s burns ~0.7 W/14 lanes... calibrated such that a
+// 4-lane 40 Gb/s port lands near the paper's ~0.7 W per SerDes at a
+// 10 Gb/s lane rate.
+func ShortCopperDesign() SerDesDesign {
+	return SerDesDesign{
+		FixedMW:           40,
+		DatapathMWPerGbps: 6,
+		EqMW:              2.0,
+		EqExponent:        1.6,
+		LossDBPerGHz:      1.0,
+		Eq:                EqCTLE,
+	}
+}
+
+// LongCopperDesign models ~5 m passive copper (the longest electrical
+// reach the paper's packaging allows): lossier, needs DFE.
+func LongCopperDesign() SerDesDesign {
+	return SerDesDesign{
+		FixedMW:           55,
+		DatapathMWPerGbps: 6,
+		EqMW:              2.6,
+		EqExponent:        1.6,
+		LossDBPerGHz:      2.5,
+		Eq:                EqDFE,
+	}
+}
+
+// OpticalDesign models an optical channel: the electrical front end is
+// short (to the transceiver) but the transceiver adds a large fixed
+// cost (laser bias), which is the paper's observation that optical
+// links burn more power at a switch port.
+func OpticalDesign() SerDesDesign {
+	return SerDesDesign{
+		FixedMW:           95,
+		DatapathMWPerGbps: 7,
+		EqMW:              1.2,
+		EqExponent:        1.5,
+		LossDBPerGHz:      0.6,
+		Eq:                EqCTLE,
+	}
+}
+
+// DesignPoint is one evaluated (rate, design) pair.
+type DesignPoint struct {
+	LaneGbps    float64
+	LaneMW      float64
+	PJPerBit    float64
+	Feasible    bool
+	LanesFor40G int // lanes needed to build a 40 Gb/s port
+	PortMW      float64
+}
+
+// SweepLaneRate evaluates a design across lane rates and returns the
+// points plus the feasible energy-per-bit optimum — the [10]-style
+// analysis behind "choosing optimal data rate".
+func SweepLaneRate(d SerDesDesign, rates []float64) (points []DesignPoint, best DesignPoint) {
+	best.PJPerBit = math.Inf(1)
+	for _, r := range rates {
+		lanes := int(math.Ceil(40 / r))
+		p := DesignPoint{
+			LaneGbps:    r,
+			LaneMW:      d.LaneMW(r),
+			PJPerBit:    d.EnergyPJPerBit(r),
+			Feasible:    d.Feasible(r),
+			LanesFor40G: lanes,
+		}
+		p.PortMW = float64(lanes) * p.LaneMW
+		points = append(points, p)
+		if p.Feasible && p.PJPerBit < best.PJPerBit {
+			best = p
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].LaneGbps < points[j].LaneGbps })
+	return points, best
+}
+
+// DefaultLaneRates is the sweep grid: the InfiniBand ladder's lane
+// rates plus the higher rates Figure 6 projects.
+func DefaultLaneRates() []float64 {
+	return []float64{1.25, 2.5, 5, 10, 12.5, 20, 25, 40}
+}
+
+// OptimalLaneRate returns the energy-per-bit-optimal feasible lane rate
+// for a design over the default grid.
+func OptimalLaneRate(d SerDesDesign) (gbps float64, pjPerBit float64) {
+	_, best := SweepLaneRate(d, DefaultLaneRates())
+	return best.LaneGbps, best.PJPerBit
+}

@@ -1,0 +1,294 @@
+// Package routing computes candidate output ports for packets at each
+// switch. The fabric package picks among candidates adaptively (smallest
+// output queue), which is the paper's per-hop adaptive routing "based
+// solely on the output queue depth" (§4.1).
+package routing
+
+import (
+	"fmt"
+
+	"epnet/internal/topo"
+)
+
+// Router yields the legal minimal next-hop output ports for a packet at
+// switch sw destined to host dst. Implementations append to buf and
+// return the extended slice so the hot path does not allocate.
+type Router interface {
+	Candidates(sw, dst int, buf []int) []int
+}
+
+// DimMode is the operating mode of one flattened-butterfly dimension,
+// used by the dynamic topology controller (§5.1): a fully connected
+// dimension can be degraded to a ring (torus-like) or a line (mesh-like)
+// by powering off links.
+type DimMode uint8
+
+const (
+	// DimFull uses the complete all-to-all wiring of the dimension.
+	DimFull DimMode = iota
+	// DimRing keeps only links between adjacent coordinates, with
+	// wraparound — the torus configuration.
+	DimRing
+	// DimLine keeps only links between adjacent coordinates, without
+	// wraparound — the mesh configuration.
+	DimLine
+)
+
+func (m DimMode) String() string {
+	switch m {
+	case DimFull:
+		return "full"
+	case DimRing:
+		return "ring"
+	case DimLine:
+		return "line"
+	default:
+		return fmt.Sprintf("DimMode(%d)", uint8(m))
+	}
+}
+
+// FBFLY routes minimally on a flattened butterfly: like a rook on a
+// chessboard, each hop corrects the coordinate of one dimension in
+// which the current switch differs from the destination's switch.
+// All mismatched dimensions are candidates (the fabric chooses
+// adaptively); within a dimension, the candidate port depends on the
+// dimension's mode.
+//
+// Modes may be mutated between packets by the dynamic topology
+// controller; FBFLY is not safe for concurrent use (the simulator is
+// single-threaded by design).
+type FBFLY struct {
+	F     *topo.FBFLY
+	Modes []DimMode // len == F.D; nil means all DimFull
+
+	// dead marks failed inter-switch ports (keyed sw*radix+port). A
+	// dead direct port makes the router offer non-minimal candidates
+	// within the same dimension instead — one misroute hop, after which
+	// routing proceeds minimally. This realizes the paper's §1 argument
+	// that a high-path-diversity network decouples the failure domain
+	// from the bandwidth domain.
+	dead map[int]bool
+}
+
+// NewFBFLY returns a minimal adaptive router for f with all dimensions
+// in full (flattened butterfly) mode.
+func NewFBFLY(f *topo.FBFLY) *FBFLY {
+	return &FBFLY{F: f, Modes: make([]DimMode, f.D)}
+}
+
+// SetDead marks or clears a failed inter-switch port.
+func (r *FBFLY) SetDead(sw, port int, dead bool) {
+	if r.dead == nil {
+		r.dead = make(map[int]bool)
+	}
+	key := sw*r.F.Radix() + port
+	if dead {
+		r.dead[key] = true
+	} else {
+		delete(r.dead, key)
+	}
+}
+
+// Dead reports whether a port is marked failed.
+func (r *FBFLY) Dead(sw, port int) bool {
+	if r.dead == nil {
+		return false
+	}
+	return r.dead[sw*r.F.Radix()+port]
+}
+
+// Mode returns dimension d's mode.
+func (r *FBFLY) Mode(d int) DimMode {
+	if r.Modes == nil {
+		return DimFull
+	}
+	return r.Modes[d]
+}
+
+// SetMode sets dimension d's mode.
+func (r *FBFLY) SetMode(d int, m DimMode) {
+	if r.Modes == nil {
+		r.Modes = make([]DimMode, r.F.D)
+	}
+	r.Modes[d] = m
+}
+
+// Candidates implements Router.
+func (r *FBFLY) Candidates(sw, dst int, buf []int) []int {
+	f := r.F
+	dstSw, dstPort := f.HostAttachment(dst)
+	if sw == dstSw {
+		return append(buf, dstPort)
+	}
+	for d := 0; d < f.D; d++ {
+		own := f.Coord(sw, d)
+		want := f.Coord(dstSw, d)
+		if own == want {
+			continue
+		}
+		switch r.Mode(d) {
+		case DimFull:
+			direct := f.PortToPeer(sw, d, want)
+			if !r.Dead(sw, direct) {
+				buf = append(buf, direct)
+				continue
+			}
+			// The direct link failed: misroute through any live peer in
+			// this dimension (one extra hop).
+			for v := 0; v < f.K; v++ {
+				if v == own || v == want {
+					continue
+				}
+				if p := f.PortToPeer(sw, d, v); !r.Dead(sw, p) {
+					buf = append(buf, p)
+				}
+			}
+		case DimRing:
+			k := f.K
+			fwd := (want - own + k) % k
+			bwd := (own - want + k) % k
+			if fwd <= bwd {
+				buf = append(buf, f.PortToPeer(sw, d, (own+1)%k))
+			}
+			if bwd <= fwd {
+				buf = append(buf, f.PortToPeer(sw, d, (own-1+k)%k))
+			}
+		case DimLine:
+			if want > own {
+				buf = append(buf, f.PortToPeer(sw, d, own+1))
+			} else {
+				buf = append(buf, f.PortToPeer(sw, d, own-1))
+			}
+		}
+	}
+	return buf
+}
+
+// ActiveInDim reports whether the link from sw through port (which must
+// belong to dimension d) is part of the active topology under the
+// current mode of its dimension. The dynamic topology controller powers
+// off exactly the links for which this is false.
+func (r *FBFLY) ActiveInDim(sw, port int) bool {
+	f := r.F
+	d := f.PortDim(port)
+	if d < 0 {
+		return true // host ports are always active
+	}
+	switch r.Mode(d) {
+	case DimFull:
+		return true
+	default:
+		own := f.Coord(sw, d)
+		peer := f.PeerCoord(sw, port)
+		k := f.K
+		adjacent := peer == (own+1)%k || peer == (own-1+k)%k
+		if !adjacent {
+			return false
+		}
+		if r.Mode(d) == DimLine {
+			// No wraparound: the k-1 <-> 0 link is off.
+			if (own == k-1 && peer == 0) || (own == 0 && peer == k-1) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// DOR is deterministic dimension-order routing on a flattened
+// butterfly: always correct the lowest mismatched dimension. It serves
+// as the non-adaptive baseline and assumes all dimensions are in full
+// mode.
+type DOR struct {
+	F *topo.FBFLY
+}
+
+// Candidates implements Router.
+func (r *DOR) Candidates(sw, dst int, buf []int) []int {
+	f := r.F
+	dstSw, dstPort := f.HostAttachment(dst)
+	if sw == dstSw {
+		return append(buf, dstPort)
+	}
+	for d := 0; d < f.D; d++ {
+		own := f.Coord(sw, d)
+		want := f.Coord(dstSw, d)
+		if own != want {
+			return append(buf, f.PortToPeer(sw, d, want))
+		}
+	}
+	panic("routing: DOR found no mismatched dimension for non-local packet")
+}
+
+// FatTree routes on a two-level folded Clos: packets at a leaf go
+// directly to a local host, or adaptively up to any spine; packets at a
+// spine go down the (unique) port to the destination's leaf.
+type FatTree struct {
+	T *topo.FatTree
+}
+
+// NewFatTree returns a router for t.
+func NewFatTree(t *topo.FatTree) *FatTree { return &FatTree{T: t} }
+
+// Candidates implements Router.
+func (r *FatTree) Candidates(sw, dst int, buf []int) []int {
+	t := r.T
+	if t.IsSpine(sw) {
+		return append(buf, t.LeafOfHost(dst))
+	}
+	leaf, port := t.HostAttachment(dst)
+	if leaf == sw {
+		return append(buf, port)
+	}
+	for s := 0; s < t.Spines; s++ {
+		buf = append(buf, t.UplinkPort(s))
+	}
+	return buf
+}
+
+// Clos3 routes up/down on a three-tier folded Clos: packets climb
+// adaptively (any aggregation, then any core) until they reach a common
+// ancestor of source and destination, then descend deterministically.
+// Up/down routing is deadlock-free by construction.
+type Clos3 struct {
+	T *topo.Clos3
+}
+
+// NewClos3 returns a router for t.
+func NewClos3(t *topo.Clos3) *Clos3 { return &Clos3{T: t} }
+
+// Candidates implements Router.
+func (r *Clos3) Candidates(sw, dst int, buf []int) []int {
+	t := r.T
+	switch {
+	case t.IsEdge(sw):
+		dstEdge, dstPort := t.HostAttachment(dst)
+		if dstEdge == sw {
+			return append(buf, dstPort)
+		}
+		for a := 0; a < t.K/2; a++ {
+			buf = append(buf, t.AggUplinkPort(a))
+		}
+		return buf
+	case t.IsAgg(sw):
+		pod := t.PodOf(sw)
+		if t.PodOfHost(dst) == pod {
+			// Down to the destination edge.
+			e := t.EdgeOfHost(dst) - pod*(t.K/2)
+			return append(buf, e)
+		}
+		for i := 0; i < t.K/2; i++ {
+			buf = append(buf, t.CoreUplinkPort(i))
+		}
+		return buf
+	default: // core: one downlink per pod
+		return append(buf, t.PodOfHost(dst))
+	}
+}
+
+var (
+	_ Router = (*FBFLY)(nil)
+	_ Router = (*DOR)(nil)
+	_ Router = (*FatTree)(nil)
+	_ Router = (*Clos3)(nil)
+)

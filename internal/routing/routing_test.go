@@ -1,0 +1,382 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"epnet/internal/topo"
+)
+
+func TestFBFLYLocalDelivery(t *testing.T) {
+	f := topo.MustFBFLY(4, 3, 2)
+	r := NewFBFLY(f)
+	// Host 5 attaches to switch 2, port 1.
+	got := r.Candidates(2, 5, nil)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Candidates = %v, want [1]", got)
+	}
+}
+
+func TestFBFLYFullCandidates(t *testing.T) {
+	f := topo.MustFBFLY(4, 3, 2) // 16 switches, 2 dims
+	r := NewFBFLY(f)
+	// From switch 0 (coords 0,0) to a host on switch 15 (coords 3,3):
+	// both dimensions mismatch, so exactly two candidates.
+	dst := 15 * f.C
+	got := r.Candidates(0, dst, nil)
+	if len(got) != 2 {
+		t.Fatalf("Candidates = %v, want 2 ports", got)
+	}
+	for _, p := range got {
+		peer, ok := f.Peer(0, p)
+		if !ok || peer.Kind != topo.KindSwitch {
+			t.Fatalf("candidate %d not an inter-switch port", p)
+		}
+		d := f.PortDim(p)
+		if f.Coord(peer.ID, d) != f.Coord(15, d) {
+			t.Errorf("candidate %d does not correct dimension %d", p, d)
+		}
+	}
+}
+
+// Every candidate must strictly reduce the number of mismatched
+// dimensions (full mode) — the minimality property of FBFLY routing.
+func TestFBFLYMinimalityProperty(t *testing.T) {
+	f := topo.MustFBFLY(5, 3, 3)
+	r := NewFBFLY(f)
+	mismatches := func(sw, dstSw int) int {
+		m := 0
+		for d := 0; d < f.D; d++ {
+			if f.Coord(sw, d) != f.Coord(dstSw, d) {
+				m++
+			}
+		}
+		return m
+	}
+	check := func(swRaw, dstRaw uint16) bool {
+		sw := int(swRaw) % f.NumSwitches()
+		dst := int(dstRaw) % f.NumHosts()
+		dstSw, _ := f.HostAttachment(dst)
+		cands := r.Candidates(sw, dst, nil)
+		if len(cands) == 0 {
+			return false
+		}
+		if sw == dstSw {
+			return len(cands) == 1 && cands[0] < f.C
+		}
+		before := mismatches(sw, dstSw)
+		for _, p := range cands {
+			peer, ok := f.Peer(sw, p)
+			if !ok || peer.Kind != topo.KindSwitch {
+				return false
+			}
+			if mismatches(peer.ID, dstSw) != before-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFBFLYRingMode(t *testing.T) {
+	f := topo.MustFBFLY(8, 2, 8)
+	r := NewFBFLY(f)
+	r.SetMode(0, DimRing)
+	if r.Mode(0) != DimRing {
+		t.Fatal("SetMode did not take")
+	}
+	// From switch 0 to a host on switch 3: forward distance 3, backward
+	// 5: only the +1 neighbor is a candidate.
+	dst := 3 * f.C
+	got := r.Candidates(0, dst, nil)
+	if len(got) != 1 {
+		t.Fatalf("ring candidates = %v, want 1", got)
+	}
+	peer, _ := f.Peer(0, got[0])
+	if peer.ID != 1 {
+		t.Errorf("ring next hop = sw%d, want sw1", peer.ID)
+	}
+	// From switch 0 to switch 4: equidistant, both directions legal.
+	got = r.Candidates(0, 4*f.C, nil)
+	if len(got) != 2 {
+		t.Fatalf("equidistant ring candidates = %v, want 2", got)
+	}
+	// Wraparound is used when shorter: 0 -> 7 goes backward through 7.
+	got = r.Candidates(0, 7*f.C, nil)
+	peer, _ = f.Peer(0, got[0])
+	if len(got) != 1 || peer.ID != 7 {
+		t.Errorf("ring 0->7 candidates = %v (peer sw%d), want wraparound to sw7", got, peer.ID)
+	}
+}
+
+func TestFBFLYLineMode(t *testing.T) {
+	f := topo.MustFBFLY(8, 2, 8)
+	r := NewFBFLY(f)
+	r.SetMode(0, DimLine)
+	// 0 -> 7 must walk forward without wraparound.
+	got := r.Candidates(0, 7*f.C, nil)
+	if len(got) != 1 {
+		t.Fatalf("line candidates = %v", got)
+	}
+	peer, _ := f.Peer(0, got[0])
+	if peer.ID != 1 {
+		t.Errorf("line next hop = sw%d, want sw1", peer.ID)
+	}
+	// 7 -> 0 walks backward.
+	got = r.Candidates(7, 0, nil)
+	peer, _ = f.Peer(7, got[0])
+	if len(got) != 1 || peer.ID != 6 {
+		t.Errorf("line 7->0 next hop = sw%d, want sw6", peer.ID)
+	}
+}
+
+// Ring/line routing must still terminate: walking any candidate strictly
+// reduces ring/line distance.
+func TestFBFLYDegradedTermination(t *testing.T) {
+	f := topo.MustFBFLY(8, 2, 8)
+	rng := rand.New(rand.NewSource(42))
+	for _, mode := range []DimMode{DimRing, DimLine} {
+		r := NewFBFLY(f)
+		r.SetMode(0, mode)
+		for trial := 0; trial < 200; trial++ {
+			src := rng.Intn(f.NumHosts())
+			dst := rng.Intn(f.NumHosts())
+			sw, _ := f.HostAttachment(src)
+			dstSw, _ := f.HostAttachment(dst)
+			hops := 0
+			for sw != dstSw {
+				cands := r.Candidates(sw, dst, nil)
+				if len(cands) == 0 {
+					t.Fatalf("%v: no candidates sw%d -> host%d", mode, sw, dst)
+				}
+				p := cands[rng.Intn(len(cands))]
+				if !r.ActiveInDim(sw, p) {
+					t.Fatalf("%v: candidate port %d at sw%d is not an active link", mode, p, sw)
+				}
+				peer, _ := f.Peer(sw, p)
+				sw = peer.ID
+				hops++
+				if hops > f.K {
+					t.Fatalf("%v: walk exceeded %d hops", mode, f.K)
+				}
+			}
+		}
+	}
+}
+
+func TestFBFLYActiveInDim(t *testing.T) {
+	f := topo.MustFBFLY(8, 2, 8)
+	r := NewFBFLY(f)
+	countActive := func() int {
+		n := 0
+		for sw := 0; sw < f.NumSwitches(); sw++ {
+			for p := f.C; p < f.Radix(); p++ {
+				if r.ActiveInDim(sw, p) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if got := countActive(); got != 8*7 {
+		t.Errorf("full mode active ports = %d, want 56", got)
+	}
+	r.SetMode(0, DimRing)
+	if got := countActive(); got != 8*2 {
+		t.Errorf("ring mode active ports = %d, want 16", got)
+	}
+	r.SetMode(0, DimLine)
+	if got := countActive(); got != 8*2-2 {
+		t.Errorf("line mode active ports = %d, want 14", got)
+	}
+	// Host ports are always active.
+	if !r.ActiveInDim(0, 0) {
+		t.Error("host port inactive")
+	}
+}
+
+func TestDOR(t *testing.T) {
+	f := topo.MustFBFLY(4, 3, 2)
+	r := &DOR{F: f}
+	// DOR corrects the lowest dimension first and yields one candidate.
+	dst := 15 * f.C // coords (3,3)
+	got := r.Candidates(0, dst, nil)
+	if len(got) != 1 {
+		t.Fatalf("DOR candidates = %v", got)
+	}
+	if d := f.PortDim(got[0]); d != 0 {
+		t.Errorf("DOR corrected dimension %d first, want 0", d)
+	}
+	// Local delivery.
+	got = r.Candidates(15, dst, nil)
+	if len(got) != 1 || got[0] >= f.C {
+		t.Errorf("DOR local = %v", got)
+	}
+	// Deterministic walk reaches the destination in MinimalHops.
+	sw := 0
+	hops := 0
+	for sw != 15 {
+		p := r.Candidates(sw, dst, nil)[0]
+		peer, _ := f.Peer(sw, p)
+		sw = peer.ID
+		hops++
+	}
+	if hops != 2 {
+		t.Errorf("DOR walk took %d hops, want 2", hops)
+	}
+}
+
+func TestFatTreeRouting(t *testing.T) {
+	ft := topo.MustFatTree(4, 8, 4)
+	r := NewFatTree(ft)
+	// Local delivery at the leaf.
+	got := r.Candidates(0, 2, nil)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("local = %v", got)
+	}
+	// Remote: all four uplinks are candidates.
+	got = r.Candidates(0, 4*4+1, nil)
+	if len(got) != 4 {
+		t.Fatalf("uplinks = %v", got)
+	}
+	for i, p := range got {
+		if p != ft.UplinkPort(i) {
+			t.Errorf("candidate %d = %d, want uplink %d", i, p, ft.UplinkPort(i))
+		}
+	}
+	// At the spine: single downlink to the destination leaf.
+	spine := ft.Leaves + 2
+	got = r.Candidates(spine, 4*4+1, nil)
+	if len(got) != 1 || got[0] != 4 {
+		t.Fatalf("spine downlink = %v, want [4]", got)
+	}
+}
+
+func TestDimModeString(t *testing.T) {
+	if DimFull.String() != "full" || DimRing.String() != "ring" || DimLine.String() != "line" {
+		t.Error("DimMode.String mismatch")
+	}
+}
+
+func TestClos3Routing(t *testing.T) {
+	f := topo.MustClos3(4)
+	r := NewClos3(f)
+	// Local delivery.
+	got := r.Candidates(0, 1, nil)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("local = %v", got)
+	}
+	// From an edge to a remote host: both aggregation uplinks.
+	got = r.Candidates(0, 15, nil)
+	if len(got) != 2 {
+		t.Fatalf("edge up = %v", got)
+	}
+	for _, p := range got {
+		peer, ok := f.Peer(0, p)
+		if !ok || !f.IsAgg(peer.ID) {
+			t.Fatalf("edge uplink %d not to an aggregation", p)
+		}
+	}
+	// At an aggregation in the destination pod: one downlink.
+	agg := f.AggSwitch(0, 0)
+	got = r.Candidates(agg, 2, nil) // host 2 is on edge 1 of pod 0
+	if len(got) != 1 {
+		t.Fatalf("agg down = %v", got)
+	}
+	peer, _ := f.Peer(agg, got[0])
+	if peer.ID != f.EdgeOfHost(2) {
+		t.Errorf("agg downlink to sw%d, want %d", peer.ID, f.EdgeOfHost(2))
+	}
+	// At an aggregation with a cross-pod destination: both core uplinks.
+	got = r.Candidates(agg, 15, nil)
+	if len(got) != 2 {
+		t.Fatalf("agg up = %v", got)
+	}
+	// At a core: exactly one downlink, into the destination pod.
+	core := f.CoreSwitch(0)
+	got = r.Candidates(core, 15, nil)
+	if len(got) != 1 {
+		t.Fatalf("core down = %v", got)
+	}
+	peer, _ = f.Peer(core, got[0])
+	if f.PodOf(peer.ID) != f.PodOfHost(15) {
+		t.Errorf("core downlink into pod %d, want %d", f.PodOf(peer.ID), f.PodOfHost(15))
+	}
+}
+
+// Property: random walks over Clos3 candidates always terminate within
+// 4 switch-to-switch hops (edge-agg-core-agg-edge).
+func TestClos3RoutingTerminationProperty(t *testing.T) {
+	f := topo.MustClos3(6)
+	r := NewClos3(f)
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 500; trial++ {
+		src := rng.Intn(f.NumHosts())
+		dst := rng.Intn(f.NumHosts())
+		sw, _ := f.HostAttachment(src)
+		dstSw, _ := f.HostAttachment(dst)
+		hops := 0
+		for sw != dstSw {
+			cands := r.Candidates(sw, dst, nil)
+			if len(cands) == 0 {
+				t.Fatalf("no candidates at sw%d for host %d", sw, dst)
+			}
+			p := cands[rng.Intn(len(cands))]
+			peer, ok := f.Peer(sw, p)
+			if !ok || peer.Kind != topo.KindSwitch {
+				t.Fatalf("candidate %d at sw%d leads to %v", p, sw, peer)
+			}
+			sw = peer.ID
+			hops++
+			if hops > 4 {
+				t.Fatalf("walk %d->%d exceeded 4 hops", src, dst)
+			}
+		}
+	}
+}
+
+// TestFBFLYDeadLinkMisroute: when the direct link in a dimension fails,
+// the router offers non-minimal detours through other switches in the
+// same dimension, and never offers the dead port.
+func TestFBFLYDeadLinkMisroute(t *testing.T) {
+	f := topo.MustFBFLY(8, 2, 8)
+	r := NewFBFLY(f)
+	dst := 3 * f.C // switch 3
+	direct := f.PortToPeer(0, 0, 3)
+	if r.Dead(0, direct) {
+		t.Fatal("fresh router has dead ports")
+	}
+	r.SetDead(0, direct, true)
+	got := r.Candidates(0, dst, nil)
+	if len(got) != f.K-2 {
+		t.Fatalf("misroute candidates = %d, want %d", len(got), f.K-2)
+	}
+	for _, p := range got {
+		if p == direct {
+			t.Fatal("dead port offered")
+		}
+		peer, _ := f.Peer(0, p)
+		if peer.ID == 3 {
+			t.Fatal("candidate reaches destination through the dead port?")
+		}
+	}
+	// From any misrouted switch, the (live) direct link completes the
+	// route: one extra hop total.
+	for _, p := range got {
+		peer, _ := f.Peer(0, p)
+		next := r.Candidates(peer.ID, dst, nil)
+		if len(next) != 1 {
+			t.Fatalf("from sw%d: %d candidates", peer.ID, len(next))
+		}
+	}
+	// Clearing revives the direct route.
+	r.SetDead(0, direct, false)
+	got = r.Candidates(0, dst, nil)
+	if len(got) != 1 || got[0] != direct {
+		t.Fatalf("after revive: %v", got)
+	}
+}

@@ -1,0 +1,158 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Time is measured in integer picoseconds, which gives sub-bit resolution
+// at 40 Gb/s (one byte takes 200 ps) while still allowing simulations of
+// many simulated seconds inside an int64.
+//
+// The engine is single-threaded and deterministic: events scheduled for
+// the same timestamp fire in FIFO order of scheduling, so a simulation
+// run is exactly reproducible given the same inputs and seeds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp or duration in picoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Nanoseconds returns the time as a floating point number of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds returns the time as a floating point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds returns the time as a floating point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%.3gns", t.Nanoseconds())
+	case t < Millisecond:
+		return fmt.Sprintf("%.4gus", t.Microseconds())
+	case t < Second:
+		return fmt.Sprintf("%.4gms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.4gs", t.Seconds())
+	}
+}
+
+// Event is a callback scheduled to run at a point in simulated time.
+type Event func(now Time)
+
+// item is a scheduled event in the priority queue.
+type item struct {
+	at  Time
+	seq uint64 // tie-break: FIFO for equal timestamps
+	fn  Event
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []item
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(item)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now       Time
+	seq       uint64
+	queue     eventQueue
+	processed uint64
+	stopped   bool
+}
+
+// New returns a new simulation engine starting at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// (before Now) panics: it indicates a model bug that would silently
+// corrupt causality.
+func (e *Engine) At(at Time, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, item{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn Event) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Stop makes Run and RunUntil return after the currently executing event.
+// Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step executes the earliest pending event. It reports false if the
+// queue is empty.
+func (e *Engine) step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.queue).(item)
+	e.now = it.at
+	e.processed++
+	it.fn(e.now)
+	return true
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled beyond the deadline stay queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.step()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,280 @@
+// Package stats provides the measurement primitives used by the
+// simulator: streaming latency statistics with log-scale histograms for
+// percentile estimation, aggregated time-at-rate occupancies, and small
+// helpers for report tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"epnet/internal/link"
+	"epnet/internal/sim"
+)
+
+// Latency accumulates a stream of duration samples. It keeps exact
+// count/sum/min/max and a geometric histogram (buckets growing by
+// ~1.0905x, i.e. 8 buckets per octave) for percentile estimates within
+// ~9% relative error.
+type Latency struct {
+	count   int64
+	sum     sim.Time
+	min     sim.Time
+	max     sim.Time
+	buckets map[int]int64
+}
+
+const bucketsPerOctave = 8
+
+// NewLatency returns an empty latency accumulator.
+func NewLatency() *Latency {
+	return &Latency{min: math.MaxInt64, buckets: make(map[int]int64)}
+}
+
+func bucketOf(d sim.Time) int {
+	if d <= 0 {
+		return math.MinInt32
+	}
+	return int(math.Floor(math.Log2(float64(d)) * bucketsPerOctave))
+}
+
+func bucketUpper(b int) sim.Time {
+	if b == math.MinInt32 {
+		return 0
+	}
+	return sim.Time(math.Exp2(float64(b+1) / bucketsPerOctave))
+}
+
+// Add records one sample.
+func (l *Latency) Add(d sim.Time) {
+	l.count++
+	l.sum += d
+	if d < l.min {
+		l.min = d
+	}
+	if d > l.max {
+		l.max = d
+	}
+	l.buckets[bucketOf(d)]++
+}
+
+// Count returns the number of samples.
+func (l *Latency) Count() int64 { return l.count }
+
+// Mean returns the mean sample, or 0 with no samples.
+func (l *Latency) Mean() sim.Time {
+	if l.count == 0 {
+		return 0
+	}
+	return sim.Time(int64(l.sum) / l.count)
+}
+
+// Min and Max return the extremes (0 with no samples).
+func (l *Latency) Min() sim.Time {
+	if l.count == 0 {
+		return 0
+	}
+	return l.min
+}
+func (l *Latency) Max() sim.Time {
+	if l.count == 0 {
+		return 0
+	}
+	return l.max
+}
+
+// Percentile returns an estimate of the p-th percentile (p in [0,100]).
+func (l *Latency) Percentile(p float64) sim.Time {
+	if l.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return l.min
+	}
+	if p >= 100 {
+		return l.max
+	}
+	target := int64(math.Ceil(float64(l.count) * p / 100))
+	keys := make([]int, 0, len(l.buckets))
+	for k := range l.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var cum int64
+	for _, k := range keys {
+		cum += l.buckets[k]
+		if cum >= target {
+			u := bucketUpper(k)
+			if u > l.max {
+				u = l.max
+			}
+			if u < l.min {
+				u = l.min
+			}
+			return u
+		}
+	}
+	return l.max
+}
+
+// Bucket is one histogram cell: Count samples at or below Upper (and
+// above the previous bucket's Upper).
+type Bucket struct {
+	Upper sim.Time
+	Count int64
+}
+
+// Buckets returns the histogram cells in ascending order of bound,
+// suitable for CDF reporting.
+func (l *Latency) Buckets() []Bucket {
+	keys := make([]int, 0, len(l.buckets))
+	for k := range l.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]Bucket, 0, len(keys))
+	for _, k := range keys {
+		u := bucketUpper(k)
+		if u > l.max {
+			u = l.max
+		}
+		out = append(out, Bucket{Upper: u, Count: l.buckets[k]})
+	}
+	return out
+}
+
+// Merge adds all samples of other into l.
+func (l *Latency) Merge(other *Latency) {
+	if other.count == 0 {
+		return
+	}
+	l.count += other.count
+	l.sum += other.sum
+	if other.min < l.min {
+		l.min = other.min
+	}
+	if other.max > l.max {
+		l.max = other.max
+	}
+	for k, v := range other.buckets {
+		l.buckets[k] += v
+	}
+}
+
+// RateShare aggregates time-at-rate occupancies across many channels:
+// the data behind the paper's Figure 7.
+type RateShare struct {
+	At    map[link.Rate]sim.Time
+	Off   sim.Time
+	Total sim.Time
+}
+
+// NewRateShare returns an empty aggregate.
+func NewRateShare() *RateShare {
+	return &RateShare{At: make(map[link.Rate]sim.Time)}
+}
+
+// Add folds one channel occupancy into the aggregate.
+func (s *RateShare) Add(o link.Occupancy) {
+	for r, t := range o.AtRate {
+		s.At[r] += t
+	}
+	s.Off += o.Off
+	s.Total += o.Total
+}
+
+// Fraction returns the share of aggregate channel-time at rate r.
+func (s *RateShare) Fraction(r link.Rate) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.At[r]) / float64(s.Total)
+}
+
+// OffFraction returns the share of aggregate channel-time powered off.
+func (s *RateShare) OffFraction() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Off) / float64(s.Total)
+}
+
+// Rates returns the rates present, ascending.
+func (s *RateShare) Rates() []link.Rate {
+	out := make([]link.Rate, 0, len(s.At))
+	for r := range s.At {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Table is a minimal fixed-width text table for experiment reports.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Bar renders a horizontal ASCII bar of the given fractional width
+// (0..1) over maxCols columns, for figure-like terminal output.
+func Bar(frac float64, maxCols int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(maxCols) + 0.5)
+	return strings.Repeat("#", n)
+}
+
+// F formats a float with the given number of decimals; convenience for
+// table rows.
+func F(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

@@ -1,0 +1,227 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"epnet/internal/link"
+	"epnet/internal/sim"
+)
+
+func TestLatencyBasics(t *testing.T) {
+	l := NewLatency()
+	if l.Count() != 0 || l.Mean() != 0 || l.Min() != 0 || l.Max() != 0 {
+		t.Fatal("empty accumulator not zero")
+	}
+	for _, d := range []sim.Time{10, 20, 30} {
+		l.Add(d * sim.Microsecond)
+	}
+	if l.Count() != 3 {
+		t.Errorf("Count = %d", l.Count())
+	}
+	if l.Mean() != 20*sim.Microsecond {
+		t.Errorf("Mean = %v", l.Mean())
+	}
+	if l.Min() != 10*sim.Microsecond || l.Max() != 30*sim.Microsecond {
+		t.Errorf("Min/Max = %v/%v", l.Min(), l.Max())
+	}
+}
+
+func TestLatencyPercentileAccuracy(t *testing.T) {
+	l := NewLatency()
+	rng := rand.New(rand.NewSource(3))
+	// Uniform samples in [1us, 101us): p50 ~ 51us, p99 ~ 100us.
+	for i := 0; i < 100000; i++ {
+		l.Add(sim.Microsecond + sim.Time(rng.Int63n(int64(100*sim.Microsecond))))
+	}
+	p50 := l.Percentile(50).Microseconds()
+	if p50 < 45 || p50 > 58 {
+		t.Errorf("p50 = %vus, want ~51 (within histogram error)", p50)
+	}
+	p99 := l.Percentile(99).Microseconds()
+	if p99 < 90 || p99 > 101 {
+		t.Errorf("p99 = %vus, want ~100", p99)
+	}
+	if l.Percentile(0) != l.Min() || l.Percentile(100) != l.Max() {
+		t.Error("percentile extremes mismatch")
+	}
+}
+
+func TestLatencyZeroSample(t *testing.T) {
+	l := NewLatency()
+	l.Add(0)
+	l.Add(sim.Microsecond)
+	if l.Min() != 0 {
+		t.Errorf("Min = %v", l.Min())
+	}
+	if got := l.Percentile(25); got != 0 {
+		t.Errorf("p25 = %v, want 0", got)
+	}
+}
+
+func TestLatencyMerge(t *testing.T) {
+	a, b := NewLatency(), NewLatency()
+	for i := 1; i <= 10; i++ {
+		a.Add(sim.Time(i) * sim.Microsecond)
+	}
+	for i := 11; i <= 20; i++ {
+		b.Add(sim.Time(i) * sim.Microsecond)
+	}
+	a.Merge(b)
+	if a.Count() != 20 {
+		t.Errorf("Count = %d", a.Count())
+	}
+	if a.Max() != 20*sim.Microsecond || a.Min() != sim.Microsecond {
+		t.Errorf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	want := sim.Time(10500 * sim.Nanosecond)
+	if a.Mean() != want {
+		t.Errorf("Mean = %v, want %v", a.Mean(), want)
+	}
+	// Merging an empty accumulator is a no-op.
+	before := a.Count()
+	a.Merge(NewLatency())
+	if a.Count() != before {
+		t.Error("empty merge changed count")
+	}
+}
+
+// Property: mean is always between min and max; percentiles are monotone
+// in p.
+func TestLatencyInvariantProperty(t *testing.T) {
+	f := func(samples []uint32) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		l := NewLatency()
+		for _, s := range samples {
+			l.Add(sim.Time(s))
+		}
+		if l.Mean() < l.Min() || l.Mean() > l.Max() {
+			return false
+		}
+		prev := sim.Time(-1)
+		for _, p := range []float64{0, 10, 25, 50, 75, 90, 99, 100} {
+			v := l.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRateShare(t *testing.T) {
+	s := NewRateShare()
+	s.Add(link.Occupancy{
+		AtRate: map[link.Rate]sim.Time{link.Rate40G: 10, link.Rate2_5G: 30},
+		Total:  40,
+	})
+	s.Add(link.Occupancy{
+		AtRate: map[link.Rate]sim.Time{link.Rate2_5G: 50},
+		Off:    10,
+		Total:  60,
+	})
+	if s.Total != 100 {
+		t.Fatalf("Total = %v", s.Total)
+	}
+	if got := s.Fraction(link.Rate2_5G); got != 0.8 {
+		t.Errorf("Fraction(2.5G) = %v, want 0.8", got)
+	}
+	if got := s.Fraction(link.Rate40G); got != 0.1 {
+		t.Errorf("Fraction(40G) = %v, want 0.1", got)
+	}
+	if got := s.OffFraction(); got != 0.1 {
+		t.Errorf("OffFraction = %v, want 0.1", got)
+	}
+	rates := s.Rates()
+	if len(rates) != 2 || rates[0] != link.Rate2_5G || rates[1] != link.Rate40G {
+		t.Errorf("Rates = %v", rates)
+	}
+	empty := NewRateShare()
+	if empty.Fraction(link.Rate40G) != 0 || empty.OffFraction() != 0 {
+		t.Error("empty share fractions not 0")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := Table{Header: []string{"name", "value"}}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("b", "22222")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name ") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "-----") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	// Columns align: "value" column starts at the same offset everywhere.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][idx:], "1") || !strings.HasPrefix(lines[3][idx:], "22222") {
+		t.Errorf("misaligned table:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Errorf("F = %q", F(1.23456, 2))
+	}
+	if Pct(0.4216) != "42.2%" {
+		t.Errorf("Pct = %q", Pct(0.4216))
+	}
+}
+
+func TestLatencyBuckets(t *testing.T) {
+	l := NewLatency()
+	for _, d := range []sim.Time{sim.Microsecond, sim.Microsecond, 10 * sim.Microsecond} {
+		l.Add(d)
+	}
+	bs := l.Buckets()
+	if len(bs) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(bs))
+	}
+	var total int64
+	prev := sim.Time(-1)
+	for _, b := range bs {
+		if b.Upper <= prev {
+			t.Fatal("bucket bounds not ascending")
+		}
+		prev = b.Upper
+		total += b.Count
+	}
+	if total != 3 {
+		t.Fatalf("bucket counts sum to %d, want 3", total)
+	}
+	if bs[0].Count != 2 || bs[1].Count != 1 {
+		t.Errorf("bucket counts %d/%d, want 2/1", bs[0].Count, bs[1].Count)
+	}
+	// Final bucket's bound is clamped to the max sample.
+	if bs[len(bs)-1].Upper != 10*sim.Microsecond {
+		t.Errorf("last bound = %v, want 10us", bs[len(bs)-1].Upper)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(0.5, 10) != "#####" {
+		t.Errorf("Bar(0.5,10) = %q", Bar(0.5, 10))
+	}
+	if Bar(-1, 10) != "" {
+		t.Errorf("negative fraction: %q", Bar(-1, 10))
+	}
+	if Bar(2, 10) != "##########" {
+		t.Errorf("overflow fraction: %q", Bar(2, 10))
+	}
+	if Bar(0, 10) != "" {
+		t.Errorf("zero: %q", Bar(0, 10))
+	}
+}

@@ -1,0 +1,28 @@
+package topo
+
+import "testing"
+
+// BenchmarkFBFLYPeer measures port-to-peer resolution, the hot path of
+// network construction and routing.
+func BenchmarkFBFLYPeer(b *testing.B) {
+	f := MustFBFLY(15, 3, 15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw := i % f.NumSwitches()
+		for p := 0; p < f.Radix(); p++ {
+			f.Peer(sw, p)
+		}
+	}
+}
+
+// BenchmarkClos3Peer does the same for the three-tier Clos.
+func BenchmarkClos3Peer(b *testing.B) {
+	c := MustClos3(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw := i % c.NumSwitches()
+		for p := 0; p < c.Radix(); p++ {
+			c.Peer(sw, p)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package topo
+
+import "fmt"
+
+// Clos3 is a three-tier folded Clos built from uniform radix-K switch
+// chips in the style the paper cites for datacenter networks
+// (Al-Fares et al., SIGCOMM'08): K pods, each with K/2 edge switches
+// and K/2 aggregation switches, plus (K/2)^2 core switches. Every edge
+// switch hosts K/2 servers, giving K^3/4 hosts on 5K^2/4 chips — the
+// chip-hungry alternative Table 1 compares the flattened butterfly
+// against.
+//
+// Switch indexing: edges [0, K^2/2), aggregations [K^2/2, K^2), cores
+// [K^2, K^2 + K^2/4).
+//
+// Port layout (all switches have K ports):
+//
+//	edge:  ports [0, K/2) hosts; port K/2+a reaches pod aggregation a
+//	agg:   port e reaches pod edge e; port K/2+i reaches core a*(K/2)+i
+//	core:  port p reaches pod p (via that pod's aggregation c/(K/2))
+type Clos3 struct {
+	K int // chip radix; must be even and >= 4
+
+	half  int // K/2
+	edges int // K^2/2 edge switches (same count of aggs)
+	cores int // (K/2)^2
+}
+
+// NewClos3 builds a three-tier folded Clos from radix-k chips.
+func NewClos3(k int) (*Clos3, error) {
+	if k < 4 || k%2 != 0 {
+		return nil, fmt.Errorf("clos3: radix must be even and >= 4, got %d", k)
+	}
+	half := k / 2
+	return &Clos3{K: k, half: half, edges: k * half, cores: half * half}, nil
+}
+
+// MustClos3 is NewClos3 that panics on error.
+func MustClos3(k int) *Clos3 {
+	c, err := NewClos3(k)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name implements Topology.
+func (c *Clos3) Name() string {
+	return fmt.Sprintf("3-tier folded Clos (k=%d, %d pods)", c.K, c.K)
+}
+
+// NumSwitches implements Topology: K^2 edge+agg plus (K/2)^2 cores.
+func (c *Clos3) NumSwitches() int { return 2*c.edges + c.cores }
+
+// NumHosts implements Topology: K^3/4.
+func (c *Clos3) NumHosts() int { return c.edges * c.half }
+
+// Radix implements Topology.
+func (c *Clos3) Radix() int { return c.K }
+
+// Tier classification.
+func (c *Clos3) IsEdge(sw int) bool { return sw < c.edges }
+func (c *Clos3) IsAgg(sw int) bool  { return sw >= c.edges && sw < 2*c.edges }
+func (c *Clos3) IsCore(sw int) bool { return sw >= 2*c.edges }
+
+// PodOf returns the pod of an edge or aggregation switch.
+func (c *Clos3) PodOf(sw int) int {
+	if c.IsCore(sw) {
+		panic("clos3: core switches belong to no pod")
+	}
+	if c.IsAgg(sw) {
+		sw -= c.edges
+	}
+	return sw / c.half
+}
+
+// EdgeSwitch returns the switch index of edge e (0..K/2) in pod p.
+func (c *Clos3) EdgeSwitch(pod, e int) int { return pod*c.half + e }
+
+// AggSwitch returns the switch index of aggregation a in pod p.
+func (c *Clos3) AggSwitch(pod, a int) int { return c.edges + pod*c.half + a }
+
+// CoreSwitch returns the switch index of core i.
+func (c *Clos3) CoreSwitch(i int) int { return 2*c.edges + i }
+
+// coreIndex returns the 0-based core number of a core switch.
+func (c *Clos3) coreIndex(sw int) int { return sw - 2*c.edges }
+
+// HostAttachment implements Topology.
+func (c *Clos3) HostAttachment(h int) (sw, port int) {
+	return h / c.half, h % c.half
+}
+
+// PodOfHost returns host h's pod.
+func (c *Clos3) PodOfHost(h int) int { return h / (c.half * c.half) }
+
+// EdgeOfHost returns host h's edge switch.
+func (c *Clos3) EdgeOfHost(h int) int { return h / c.half }
+
+// AggUplinkPort returns the edge port reaching pod aggregation a.
+func (c *Clos3) AggUplinkPort(a int) int { return c.half + a }
+
+// CoreUplinkPort returns the aggregation port reaching its i-th core.
+func (c *Clos3) CoreUplinkPort(i int) int { return c.half + i }
+
+// Peer implements Topology.
+func (c *Clos3) Peer(sw, port int) (Endpoint, bool) {
+	if port < 0 || port >= c.K {
+		return Endpoint{}, false
+	}
+	switch {
+	case c.IsEdge(sw):
+		if port < c.half {
+			return Endpoint{Kind: KindHost, ID: sw*c.half + port}, true
+		}
+		a := port - c.half
+		pod := c.PodOf(sw)
+		e := sw - pod*c.half
+		return Endpoint{Kind: KindSwitch, ID: c.AggSwitch(pod, a), Port: e}, true
+	case c.IsAgg(sw):
+		pod := c.PodOf(sw)
+		a := sw - c.edges - pod*c.half
+		if port < c.half {
+			return Endpoint{Kind: KindSwitch, ID: c.EdgeSwitch(pod, port), Port: c.AggUplinkPort(a)}, true
+		}
+		i := port - c.half
+		core := a*c.half + i
+		return Endpoint{Kind: KindSwitch, ID: c.CoreSwitch(core), Port: pod}, true
+	default: // core
+		if port >= c.K {
+			return Endpoint{}, false
+		}
+		core := c.coreIndex(sw)
+		a := core / c.half
+		i := core % c.half
+		return Endpoint{Kind: KindSwitch, ID: c.AggSwitch(port, a), Port: c.CoreUplinkPort(i)}, true
+	}
+}
+
+// LinkClass implements Topology: host and intra-pod links are copper;
+// pod-to-core links are optical.
+func (c *Clos3) LinkClass(sw, port int) LinkClass {
+	switch {
+	case c.IsEdge(sw):
+		return Electrical
+	case c.IsAgg(sw):
+		if port < c.half {
+			return Electrical
+		}
+		return Optical
+	default:
+		return Optical
+	}
+}
+
+var _ Topology = (*Clos3)(nil)

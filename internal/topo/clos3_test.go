@@ -1,0 +1,128 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClos3Invalid(t *testing.T) {
+	for _, k := range []int{0, 2, 3, 5, 7} {
+		if _, err := NewClos3(k); err == nil {
+			t.Errorf("k=%d accepted", k)
+		}
+	}
+}
+
+// TestClos3Counts checks the classic fat-tree arithmetic: k^3/4 hosts
+// on 5k^2/4 switches.
+func TestClos3Counts(t *testing.T) {
+	cases := []struct{ k, hosts, switches int }{
+		{4, 16, 20},
+		{8, 128, 80},
+		{16, 1024, 320},
+	}
+	for _, c := range cases {
+		f := MustClos3(c.k)
+		if got := f.NumHosts(); got != c.hosts {
+			t.Errorf("k=%d hosts = %d, want %d", c.k, got, c.hosts)
+		}
+		if got := f.NumSwitches(); got != c.switches {
+			t.Errorf("k=%d switches = %d, want %d", c.k, got, c.switches)
+		}
+		if got := f.Radix(); got != c.k {
+			t.Errorf("k=%d radix = %d", c.k, got)
+		}
+	}
+}
+
+func TestClos3Tiers(t *testing.T) {
+	f := MustClos3(4)
+	// 8 edges, 8 aggs, 4 cores.
+	for sw := 0; sw < f.NumSwitches(); sw++ {
+		e, a, c := f.IsEdge(sw), f.IsAgg(sw), f.IsCore(sw)
+		n := 0
+		for _, b := range []bool{e, a, c} {
+			if b {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("sw%d in %d tiers", sw, n)
+		}
+	}
+	if !f.IsEdge(0) || !f.IsAgg(8) || !f.IsCore(16) {
+		t.Error("tier boundaries wrong")
+	}
+	if f.PodOf(0) != 0 || f.PodOf(7) != 3 || f.PodOf(8) != 0 || f.PodOf(15) != 3 {
+		t.Error("pod mapping wrong")
+	}
+}
+
+func TestClos3Wiring(t *testing.T) {
+	for _, k := range []int{4, 6, 8} {
+		f := MustClos3(k)
+		if err := Validate(f); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestClos3LinkCounts(t *testing.T) {
+	f := MustClos3(4)
+	e, o := CountLinks(f)
+	// Hosts 16 + intra-pod edge-agg 4 pods x 2x2 = 16 copper; agg-core
+	// 8 aggs x 2 = 16 optical.
+	if e != 32 {
+		t.Errorf("electrical = %d, want 32", e)
+	}
+	if o != 16 {
+		t.Errorf("optical = %d, want 16", o)
+	}
+}
+
+func TestClos3HostMapping(t *testing.T) {
+	f := MustClos3(4)
+	for h := 0; h < f.NumHosts(); h++ {
+		sw, port := f.HostAttachment(h)
+		if !f.IsEdge(sw) {
+			t.Fatalf("host %d on non-edge sw%d", h, sw)
+		}
+		if f.EdgeOfHost(h) != sw {
+			t.Fatalf("EdgeOfHost(%d) = %d, attachment %d", h, f.EdgeOfHost(h), sw)
+		}
+		if f.PodOfHost(h) != f.PodOf(sw) {
+			t.Fatalf("host %d pod mismatch", h)
+		}
+		peer, ok := f.Peer(sw, port)
+		if !ok || peer.Kind != KindHost || peer.ID != h {
+			t.Fatalf("host %d port wiring: %v", h, peer)
+		}
+	}
+}
+
+// Property: Peer symmetry holds for arbitrary valid radixes.
+func TestClos3PeerSymmetryProperty(t *testing.T) {
+	f := func(kRaw uint8) bool {
+		k := (int(kRaw%5) + 2) * 2 // 4..12 even
+		c := MustClos3(k)
+		for sw := 0; sw < c.NumSwitches(); sw++ {
+			for p := 0; p < c.Radix(); p++ {
+				peer, ok := c.Peer(sw, p)
+				if !ok {
+					return false
+				}
+				if peer.Kind != KindSwitch {
+					continue
+				}
+				back, ok := c.Peer(peer.ID, peer.Port)
+				if !ok || back.Kind != KindSwitch || back.ID != sw || back.Port != p {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

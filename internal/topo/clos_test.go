@@ -1,0 +1,158 @@
+package topo
+
+import "testing"
+
+// TestClosTable1 checks that the analytic folded-Clos model reproduces
+// every folded-Clos row of the paper's Table 1 for the 32k-host,
+// 36-port-chip system.
+func TestClosTable1(t *testing.T) {
+	c, err := NewClosPartCount(32768, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ChassisPorts != 324 {
+		t.Errorf("ChassisPorts = %d, want 324", c.ChassisPorts)
+	}
+	if c.ChipsPerBox != 27 {
+		t.Errorf("ChipsPerBox = %d, want 27", c.ChipsPerBox)
+	}
+	if c.Stage3Chassis != 102 {
+		t.Errorf("Stage3Chassis = %d, want 102", c.Stage3Chassis)
+	}
+	if c.Stage2Chassis != 203 {
+		t.Errorf("Stage2Chassis = %d, want 203", c.Stage2Chassis)
+	}
+	if c.SwitchChips != 8235 {
+		t.Errorf("SwitchChips = %d, want 8235", c.SwitchChips)
+	}
+	if c.PoweredChips != 8192 {
+		t.Errorf("PoweredChips = %d, want 8192", c.PoweredChips)
+	}
+	if got := c.ElectricalLinks(); got != 49152 {
+		t.Errorf("ElectricalLinks = %d, want 49152", got)
+	}
+	if got := c.OpticalLinks(); got != 65536 {
+		t.Errorf("OpticalLinks = %d, want 65536", got)
+	}
+	if got := c.BisectionGbps(40); got != 655360 {
+		t.Errorf("BisectionGbps = %v, want 655360 (655 Tb/s)", got)
+	}
+}
+
+func TestClosInvalid(t *testing.T) {
+	if _, err := NewClosPartCount(0, 36); err == nil {
+		t.Error("hosts=0 accepted")
+	}
+	if _, err := NewClosPartCount(100, 2); err == nil {
+		t.Error("radix 2 accepted")
+	}
+	// An odd radix rounds down to the usable even port count.
+	c, err := NewClosPartCount(100, 35)
+	if err != nil {
+		t.Fatalf("odd radix rejected: %v", err)
+	}
+	if c.ChipRadix != 34 {
+		t.Errorf("odd radix 35 used as %d, want 34", c.ChipRadix)
+	}
+}
+
+func TestClosSmallSystems(t *testing.T) {
+	// A small system still produces internally consistent counts.
+	c, err := NewClosPartCount(1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ChassisPorts != 16 {
+		t.Errorf("ChassisPorts = %d, want 16 (4 edge chips x 4 ports)", c.ChassisPorts)
+	}
+	if c.SwitchChips < c.PoweredChips {
+		t.Errorf("powered %d > total %d", c.PoweredChips, c.SwitchChips)
+	}
+	if c.Stage2Chassis < c.Stage3Chassis {
+		t.Errorf("stage2 (%d) should need at least as many chassis as stage3 (%d)",
+			c.Stage2Chassis, c.Stage3Chassis)
+	}
+}
+
+func TestFBFLYPartCountTable1(t *testing.T) {
+	pc := FBFLYPartCount{MustFBFLY(8, 5, 8)}
+	if got := pc.InterSwitchChannels(); got != 4096*28 {
+		t.Errorf("InterSwitchChannels = %d, want %d", got, 4096*28)
+	}
+	if got := pc.RequiredPorts(); got != 36 {
+		t.Errorf("RequiredPorts = %d, want 36", got)
+	}
+	if got := pc.OverSubscription(); got != 1.0 {
+		t.Errorf("OverSubscription = %v, want 1.0", got)
+	}
+}
+
+func TestFatTreeBasics(t *testing.T) {
+	ft := MustFatTree(4, 8, 4) // 32 hosts, nonblocking
+	if got := ft.NumHosts(); got != 32 {
+		t.Errorf("NumHosts = %d, want 32", got)
+	}
+	if got := ft.NumSwitches(); got != 12 {
+		t.Errorf("NumSwitches = %d, want 12", got)
+	}
+	if err := Validate(ft); err != nil {
+		t.Fatal(err)
+	}
+	e, o := CountLinks(ft)
+	if e != 32 {
+		t.Errorf("electrical = %d, want 32 host links", e)
+	}
+	if o != 8*4 {
+		t.Errorf("optical = %d, want 32 leaf-spine links", o)
+	}
+}
+
+func TestFatTreeInvalid(t *testing.T) {
+	if _, err := NewFatTree(0, 2, 2); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := NewFatTree(2, 0, 2); err == nil {
+		t.Error("leaves=0 accepted")
+	}
+	if _, err := NewFatTree(2, 2, 0); err == nil {
+		t.Error("spines=0 accepted")
+	}
+}
+
+func TestFatTreePorts(t *testing.T) {
+	ft := MustFatTree(3, 4, 2)
+	// Leaf 1, uplink to spine 0.
+	peer, ok := ft.Peer(1, ft.UplinkPort(0))
+	if !ok || peer.Kind != KindSwitch || !ft.IsSpine(peer.ID) || ft.SpineID(peer.ID) != 0 {
+		t.Fatalf("leaf uplink peer = %v ok=%v", peer, ok)
+	}
+	// Reverse direction.
+	back, ok := ft.Peer(peer.ID, peer.Port)
+	if !ok || back.ID != 1 || back.Port != ft.UplinkPort(0) {
+		t.Fatalf("spine downlink peer = %v ok=%v", back, ok)
+	}
+	// Out-of-range ports unconnected.
+	if _, ok := ft.Peer(0, ft.Radix()+1); ok {
+		t.Error("out-of-range leaf port reported connected")
+	}
+	if _, ok := ft.Peer(ft.Leaves, ft.Leaves); ok {
+		t.Error("out-of-range spine port reported connected")
+	}
+}
+
+func TestEndpointString(t *testing.T) {
+	h := Endpoint{Kind: KindHost, ID: 3}
+	if h.String() != "host3" {
+		t.Errorf("host endpoint = %q", h.String())
+	}
+	s := Endpoint{Kind: KindSwitch, ID: 2, Port: 5}
+	if s.String() != "sw2.p5" {
+		t.Errorf("switch endpoint = %q", s.String())
+	}
+	if KindHost.String() != "host" || KindSwitch.String() != "switch" {
+		t.Error("Kind.String mismatch")
+	}
+	if Electrical.String() != "electrical" || Optical.String() != "optical" {
+		t.Error("LinkClass.String mismatch")
+	}
+}

@@ -1,0 +1,102 @@
+package topo
+
+import "fmt"
+
+// FatTree is a two-level folded Clos (leaf/spine) used as a simulatable
+// baseline topology. Each of the Leaves leaf switches concentrates C
+// hosts and has U uplinks; each of the Spines spine switches has Leaves
+// downlinks (one per leaf), so U must equal Spines. The network is
+// non-blocking when C == U.
+//
+// Leaf port layout: ports [0, C) hosts, ports [C, C+U) uplinks to spines
+// (port C+s reaches spine s). Spine port layout: port l reaches leaf l.
+type FatTree struct {
+	C      int // hosts per leaf
+	Leaves int
+	Spines int
+}
+
+// NewFatTree builds a leaf/spine folded Clos. Spine count equals the
+// number of uplinks per leaf.
+func NewFatTree(hostsPerLeaf, leaves, spines int) (*FatTree, error) {
+	if hostsPerLeaf < 1 || leaves < 1 || spines < 1 {
+		return nil, fmt.Errorf("fattree: all parameters must be >= 1, got c=%d leaves=%d spines=%d",
+			hostsPerLeaf, leaves, spines)
+	}
+	return &FatTree{C: hostsPerLeaf, Leaves: leaves, Spines: spines}, nil
+}
+
+// MustFatTree is NewFatTree that panics on error.
+func MustFatTree(hostsPerLeaf, leaves, spines int) *FatTree {
+	t, err := NewFatTree(hostsPerLeaf, leaves, spines)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name implements Topology.
+func (t *FatTree) Name() string {
+	return fmt.Sprintf("fat tree (%d leaves x %d hosts, %d spines)", t.Leaves, t.C, t.Spines)
+}
+
+// NumSwitches implements Topology: leaves then spines.
+func (t *FatTree) NumSwitches() int { return t.Leaves + t.Spines }
+
+// NumHosts implements Topology.
+func (t *FatTree) NumHosts() int { return t.C * t.Leaves }
+
+// Radix implements Topology: the maximum port count over leaf (C+Spines)
+// and spine (Leaves) switches.
+func (t *FatTree) Radix() int {
+	if t.C+t.Spines > t.Leaves {
+		return t.C + t.Spines
+	}
+	return t.Leaves
+}
+
+// IsSpine reports whether switch sw is a spine.
+func (t *FatTree) IsSpine(sw int) bool { return sw >= t.Leaves }
+
+// SpineID returns the spine index of switch sw (which must be a spine).
+func (t *FatTree) SpineID(sw int) int { return sw - t.Leaves }
+
+// LeafOfHost returns the leaf switch index of host h.
+func (t *FatTree) LeafOfHost(h int) int { return h / t.C }
+
+// UplinkPort returns the leaf port reaching spine s.
+func (t *FatTree) UplinkPort(s int) int { return t.C + s }
+
+// HostAttachment implements Topology.
+func (t *FatTree) HostAttachment(h int) (sw, port int) { return h / t.C, h % t.C }
+
+// Peer implements Topology.
+func (t *FatTree) Peer(sw, port int) (Endpoint, bool) {
+	if port < 0 {
+		return Endpoint{}, false
+	}
+	if t.IsSpine(sw) {
+		if port >= t.Leaves {
+			return Endpoint{}, false
+		}
+		return Endpoint{Kind: KindSwitch, ID: port, Port: t.UplinkPort(t.SpineID(sw))}, true
+	}
+	if port < t.C {
+		return Endpoint{Kind: KindHost, ID: sw*t.C + port}, true
+	}
+	if port < t.C+t.Spines {
+		return Endpoint{Kind: KindSwitch, ID: t.Leaves + (port - t.C), Port: sw}, true
+	}
+	return Endpoint{}, false
+}
+
+// LinkClass implements Topology: host links are copper, leaf-spine links
+// optical (they leave the rack).
+func (t *FatTree) LinkClass(sw, port int) LinkClass {
+	if !t.IsSpine(sw) && port < t.C {
+		return Electrical
+	}
+	return Optical
+}
+
+var _ Topology = (*FatTree)(nil)

@@ -1,0 +1,226 @@
+package topo
+
+import "fmt"
+
+// FBFLY is a flattened butterfly: a k-ary n-flat with concentration c,
+// written (c, k, n) in the paper. It has k^(n-1) switches arranged in
+// n-1 "switch dimensions" of radix k; within every dimension all k
+// switches that differ only in that coordinate are fully connected.
+// Each switch additionally concentrates c hosts, so the network scales
+// to c * k^(n-1) hosts.
+//
+// Port layout of each switch (radix = c + (k-1)(n-1)):
+//
+//	ports [0, c)                          host (terminal) ports
+//	ports [c + d*(k-1), c + (d+1)*(k-1))  dimension-d peers, d in [0, n-1)
+//
+// Within a dimension-d port group, ports are ordered by the peer's
+// coordinate value, skipping the switch's own value.
+//
+// The canonical paper configurations are the 8-ary 5-flat with c=8
+// (32k hosts, 36-port switches) used for the Table 1 power comparison,
+// and the 15-ary 3-flat with c=15 (3,375 hosts) used for simulation.
+type FBFLY struct {
+	K int // radix of each dimension (switches per dimension)
+	C int // concentration: hosts per switch
+	D int // number of switch dimensions = n-1
+
+	numSwitches int
+	strides     []int // stride of each dimension in the switch index
+}
+
+// NewFBFLY constructs a k-ary n-flat with concentration c. n counts the
+// host dimension plus the switch dimensions, matching the paper: an
+// "8-ary 5-flat" has n=5 and four switch dimensions.
+func NewFBFLY(k, n, c int) (*FBFLY, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("fbfly: k must be >= 2, got %d", k)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("fbfly: n must be >= 2 (one host + one switch dimension), got %d", n)
+	}
+	if c < 1 {
+		return nil, fmt.Errorf("fbfly: concentration must be >= 1, got %d", c)
+	}
+	d := n - 1
+	num := 1
+	strides := make([]int, d)
+	for i := 0; i < d; i++ {
+		strides[i] = num
+		// Overflow guard: refuse absurd sizes rather than wrap.
+		if num > (1<<31)/k {
+			return nil, fmt.Errorf("fbfly: k=%d n=%d too large", k, n)
+		}
+		num *= k
+	}
+	return &FBFLY{K: k, C: c, D: d, numSwitches: num, strides: strides}, nil
+}
+
+// MustFBFLY is NewFBFLY that panics on error, for tests and tables of
+// known-good configurations.
+func MustFBFLY(k, n, c int) *FBFLY {
+	f, err := NewFBFLY(k, n, c)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Name implements Topology.
+func (f *FBFLY) Name() string {
+	return fmt.Sprintf("%d-ary %d-flat (c=%d)", f.K, f.D+1, f.C)
+}
+
+// NumSwitches implements Topology.
+func (f *FBFLY) NumSwitches() int { return f.numSwitches }
+
+// NumHosts implements Topology.
+func (f *FBFLY) NumHosts() int { return f.C * f.numSwitches }
+
+// Radix implements Topology: c + (k-1)(n-1) ports per switch.
+func (f *FBFLY) Radix() int { return f.C + (f.K-1)*f.D }
+
+// Coord returns the coordinate of switch sw in dimension dim.
+func (f *FBFLY) Coord(sw, dim int) int { return sw / f.strides[dim] % f.K }
+
+// Coords returns all D coordinates of switch sw.
+func (f *FBFLY) Coords(sw int) []int {
+	c := make([]int, f.D)
+	for d := range c {
+		c[d] = f.Coord(sw, d)
+	}
+	return c
+}
+
+// SwitchAt returns the switch index with the given coordinates.
+func (f *FBFLY) SwitchAt(coords []int) int {
+	if len(coords) != f.D {
+		panic(fmt.Sprintf("fbfly: SwitchAt needs %d coords, got %d", f.D, len(coords)))
+	}
+	sw := 0
+	for d, v := range coords {
+		if v < 0 || v >= f.K {
+			panic(fmt.Sprintf("fbfly: coordinate %d out of range [0,%d)", v, f.K))
+		}
+		sw += v * f.strides[d]
+	}
+	return sw
+}
+
+// HostAttachment implements Topology: host h attaches to switch h/c on
+// port h%c.
+func (f *FBFLY) HostAttachment(h int) (sw, port int) { return h / f.C, h % f.C }
+
+// HostsOf returns the half-open host index range [lo, hi) attached to sw.
+func (f *FBFLY) HostsOf(sw int) (lo, hi int) { return sw * f.C, (sw + 1) * f.C }
+
+// PortToPeer returns the output port of switch sw that reaches the peer
+// switch in dimension dim whose coordinate in that dimension is val.
+// It panics if val equals sw's own coordinate (there is no self link).
+func (f *FBFLY) PortToPeer(sw, dim, val int) int {
+	own := f.Coord(sw, dim)
+	if val == own {
+		panic(fmt.Sprintf("fbfly: switch %d has no port to itself in dim %d", sw, dim))
+	}
+	idx := val
+	if val > own {
+		idx--
+	}
+	return f.C + dim*(f.K-1) + idx
+}
+
+// PortDim returns the dimension a switch port belongs to, or -1 for a
+// host port. Ports beyond the radix also return -1.
+func (f *FBFLY) PortDim(port int) int {
+	if port < f.C {
+		return -1
+	}
+	d := (port - f.C) / (f.K - 1)
+	if d >= f.D {
+		return -1
+	}
+	return d
+}
+
+// PeerCoord returns, for an inter-switch port of switch sw, the
+// coordinate value (in the port's dimension) of the switch on the other
+// end.
+func (f *FBFLY) PeerCoord(sw, port int) int {
+	dim := f.PortDim(port)
+	if dim < 0 {
+		panic(fmt.Sprintf("fbfly: port %d is not an inter-switch port", port))
+	}
+	own := f.Coord(sw, dim)
+	idx := (port - f.C) % (f.K - 1)
+	if idx >= own {
+		idx++
+	}
+	return idx
+}
+
+// Peer implements Topology.
+func (f *FBFLY) Peer(sw, port int) (Endpoint, bool) {
+	if port < 0 || port >= f.Radix() {
+		return Endpoint{}, false
+	}
+	if port < f.C {
+		return Endpoint{Kind: KindHost, ID: sw*f.C + port}, true
+	}
+	dim := f.PortDim(port)
+	val := f.PeerCoord(sw, port)
+	own := f.Coord(sw, dim)
+	peer := sw + (val-own)*f.strides[dim]
+	return Endpoint{Kind: KindSwitch, ID: peer, Port: f.PortToPeer(peer, dim, own)}, true
+}
+
+// LinkClass implements Topology. Following the paper's packaging-locality
+// argument (§2.2): host links and first-dimension (intra-group) links are
+// short passive copper; links in higher dimensions are optical. This
+// yields e = (k-1) + c electrical ports per switch.
+func (f *FBFLY) LinkClass(sw, port int) LinkClass {
+	if port < f.C {
+		return Electrical
+	}
+	if f.PortDim(port) == 0 {
+		return Electrical
+	}
+	return Optical
+}
+
+// ElectricalFraction returns the fraction of switch ports wired with
+// electrical links: ((k-1)+c) / (c+(k-1)(n-1)), the paper's f_e.
+func (f *FBFLY) ElectricalFraction() float64 {
+	return float64(f.K-1+f.C) / float64(f.Radix())
+}
+
+// MinimalHops returns the number of switch-to-switch hops on a minimal
+// route between the switches of hosts src and dst: the number of
+// dimensions in which their switches' coordinates differ.
+func (f *FBFLY) MinimalHops(src, dst int) int {
+	s, _ := f.HostAttachment(src)
+	t, _ := f.HostAttachment(dst)
+	hops := 0
+	for d := 0; d < f.D; d++ {
+		if f.Coord(s, d) != f.Coord(t, d) {
+			hops++
+		}
+	}
+	return hops
+}
+
+// Diameter returns the switch-hop diameter of the topology, which for a
+// flattened butterfly is the number of switch dimensions.
+func (f *FBFLY) Diameter() int { return f.D }
+
+// BisectionChannels returns the number of unidirectional inter-switch
+// channels crossing a bisection that halves the highest dimension
+// (the standard worst-case cut for a flattened butterfly). Each of the
+// k^(n-2) switch groups in the top dimension contributes floor(k/2) *
+// ceil(k/2) fully-connected pair links across the cut, times two
+// directions.
+func (f *FBFLY) BisectionChannels() int {
+	groups := f.numSwitches / f.K
+	return groups * (f.K / 2) * ((f.K + 1) / 2) * 2
+}
+
+var _ Topology = (*FBFLY)(nil)

@@ -1,0 +1,306 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFBFLYInvalidParams(t *testing.T) {
+	cases := []struct{ k, n, c int }{
+		{1, 2, 8}, {0, 2, 8}, {8, 1, 8}, {8, 0, 8}, {8, 2, 0}, {8, 2, -1},
+	}
+	for _, c := range cases {
+		if _, err := NewFBFLY(c.k, c.n, c.c); err == nil {
+			t.Errorf("NewFBFLY(%d,%d,%d) succeeded, want error", c.k, c.n, c.c)
+		}
+	}
+}
+
+// TestFBFLYFigure2 checks the paper's Figure 2: an 8-ary 2-flat has
+// 8x8=64 nodes and eight 15-port switches.
+func TestFBFLYFigure2(t *testing.T) {
+	f := MustFBFLY(8, 2, 8)
+	if got := f.NumHosts(); got != 64 {
+		t.Errorf("NumHosts = %d, want 64", got)
+	}
+	if got := f.NumSwitches(); got != 8 {
+		t.Errorf("NumSwitches = %d, want 8", got)
+	}
+	if got := f.Radix(); got != 15 {
+		t.Errorf("Radix = %d, want 15", got)
+	}
+}
+
+// TestFBFLYScalingText checks the scaling example from §2.1: an 8-ary
+// 3-flat has 512 nodes and 64 switch chips each with 22 ports.
+func TestFBFLYScalingText(t *testing.T) {
+	f := MustFBFLY(8, 3, 8)
+	if got := f.NumHosts(); got != 512 {
+		t.Errorf("NumHosts = %d, want 512", got)
+	}
+	if got := f.NumSwitches(); got != 64 {
+		t.Errorf("NumSwitches = %d, want 64", got)
+	}
+	if got := f.Radix(); got != 22 {
+		t.Errorf("Radix = %d, want 22", got)
+	}
+}
+
+// TestFBFLYFigure3 checks the over-subscription example of Figure 3:
+// a 33-port router implements an 8-ary 4-flat with concentration 12,
+// scaling to 12*8^3 = 6144 nodes.
+func TestFBFLYFigure3(t *testing.T) {
+	f := MustFBFLY(8, 4, 12)
+	if got := f.Radix(); got != 33 {
+		t.Errorf("Radix = %d, want 33", got)
+	}
+	if got := f.NumHosts(); got != 6144 {
+		t.Errorf("NumHosts = %d, want 6144", got)
+	}
+	pc := FBFLYPartCount{f}
+	if got := pc.OverSubscription(); got != 1.5 {
+		t.Errorf("OverSubscription = %v, want 1.5 (3:2)", got)
+	}
+}
+
+// TestFBFLYTable1Config checks the 32k-node 8-ary 5-flat of Table 1:
+// 36 ports per switch, 4096 switches.
+func TestFBFLYTable1Config(t *testing.T) {
+	f := MustFBFLY(8, 5, 8)
+	if got := f.Radix(); got != 36 {
+		t.Errorf("Radix = %d, want 36", got)
+	}
+	if got := f.NumSwitches(); got != 4096 {
+		t.Errorf("NumSwitches = %d, want 4096", got)
+	}
+	if got := f.NumHosts(); got != 32768 {
+		t.Errorf("NumHosts = %d, want 32768", got)
+	}
+	// Electrical fraction ~ 15/36 = 42% per the paper.
+	if got := f.ElectricalFraction(); got != 15.0/36.0 {
+		t.Errorf("ElectricalFraction = %v, want 15/36", got)
+	}
+	pc := FBFLYPartCount{f}
+	if got := pc.ElectricalLinks(); got != 47104 {
+		t.Errorf("ElectricalLinks = %d, want 47104", got)
+	}
+	if got := pc.OpticalLinks(); got != 43008 {
+		t.Errorf("OpticalLinks = %d, want 43008", got)
+	}
+	if got := pc.BisectionGbps(40); got != 655360 {
+		t.Errorf("BisectionGbps = %v, want 655360", got)
+	}
+}
+
+// TestFBFLYSimConfig checks the evaluation configuration of §4.1:
+// a 15-ary 3-flat with 3375 nodes.
+func TestFBFLYSimConfig(t *testing.T) {
+	f := MustFBFLY(15, 3, 15)
+	if got := f.NumHosts(); got != 3375 {
+		t.Errorf("NumHosts = %d, want 3375", got)
+	}
+	if got := f.NumSwitches(); got != 225 {
+		t.Errorf("NumSwitches = %d, want 225", got)
+	}
+	if got := f.Radix(); got != 43 {
+		t.Errorf("Radix = %d, want 43 (15 + 14*2)", got)
+	}
+}
+
+func TestFBFLYCoordsRoundTrip(t *testing.T) {
+	f := MustFBFLY(5, 4, 3)
+	for sw := 0; sw < f.NumSwitches(); sw++ {
+		if got := f.SwitchAt(f.Coords(sw)); got != sw {
+			t.Fatalf("SwitchAt(Coords(%d)) = %d", sw, got)
+		}
+	}
+}
+
+func TestFBFLYPortMapping(t *testing.T) {
+	f := MustFBFLY(4, 3, 2) // 16 switches, radix 2+3*2=8
+	for sw := 0; sw < f.NumSwitches(); sw++ {
+		seen := make(map[int]bool)
+		for d := 0; d < f.D; d++ {
+			own := f.Coord(sw, d)
+			for v := 0; v < f.K; v++ {
+				if v == own {
+					continue
+				}
+				p := f.PortToPeer(sw, d, v)
+				if seen[p] {
+					t.Fatalf("sw%d: port %d assigned twice", sw, p)
+				}
+				seen[p] = true
+				if got := f.PortDim(p); got != d {
+					t.Fatalf("sw%d port %d: PortDim = %d, want %d", sw, p, got, d)
+				}
+				if got := f.PeerCoord(sw, p); got != v {
+					t.Fatalf("sw%d port %d: PeerCoord = %d, want %d", sw, p, got, v)
+				}
+			}
+		}
+		if len(seen) != f.D*(f.K-1) {
+			t.Fatalf("sw%d: %d inter-switch ports mapped, want %d", sw, len(seen), f.D*(f.K-1))
+		}
+	}
+}
+
+func TestFBFLYValidateWiring(t *testing.T) {
+	for _, f := range []*FBFLY{
+		MustFBFLY(2, 2, 1),
+		MustFBFLY(8, 2, 8),
+		MustFBFLY(4, 3, 2),
+		MustFBFLY(3, 4, 5),
+		MustFBFLY(8, 3, 12),
+	} {
+		if err := Validate(f); err != nil {
+			t.Errorf("%s: %v", f.Name(), err)
+		}
+	}
+}
+
+func TestFBFLYLinkCounts(t *testing.T) {
+	f := MustFBFLY(4, 3, 2)
+	links := Links(f)
+	wantHost := f.NumHosts()
+	wantSwitch := f.NumSwitches() * (f.K - 1) * f.D / 2
+	if len(links) != wantHost+wantSwitch {
+		t.Fatalf("Links: got %d, want %d", len(links), wantHost+wantSwitch)
+	}
+	e, o := CountLinks(f)
+	pc := FBFLYPartCount{f}
+	if e != pc.ElectricalLinks() {
+		t.Errorf("electrical: enumerated %d, analytic %d", e, pc.ElectricalLinks())
+	}
+	if o != pc.OpticalLinks() {
+		t.Errorf("optical: enumerated %d, analytic %d", o, pc.OpticalLinks())
+	}
+}
+
+func TestFBFLYHostAttachment(t *testing.T) {
+	f := MustFBFLY(8, 2, 8)
+	for h := 0; h < f.NumHosts(); h++ {
+		sw, port := f.HostAttachment(h)
+		lo, hi := f.HostsOf(sw)
+		if h < lo || h >= hi {
+			t.Fatalf("host %d: attachment sw%d but HostsOf = [%d,%d)", h, sw, lo, hi)
+		}
+		if port < 0 || port >= f.C {
+			t.Fatalf("host %d: port %d out of range", h, port)
+		}
+	}
+}
+
+func TestFBFLYMinimalHops(t *testing.T) {
+	f := MustFBFLY(4, 3, 2)
+	// Hosts on the same switch: 0 hops.
+	if got := f.MinimalHops(0, 1); got != 0 {
+		t.Errorf("same switch: %d hops, want 0", got)
+	}
+	// Diameter equals number of switch dimensions.
+	if got := f.Diameter(); got != 2 {
+		t.Errorf("Diameter = %d, want 2", got)
+	}
+	maxSeen := 0
+	for a := 0; a < f.NumHosts(); a++ {
+		for b := 0; b < f.NumHosts(); b++ {
+			h := f.MinimalHops(a, b)
+			if h > maxSeen {
+				maxSeen = h
+			}
+		}
+	}
+	if maxSeen != f.Diameter() {
+		t.Errorf("max minimal hops = %d, want diameter %d", maxSeen, f.Diameter())
+	}
+}
+
+func TestFBFLYBisectionChannels(t *testing.T) {
+	// 8-ary 2-flat: one group, 4*4*2 = 32 channels across the cut.
+	f := MustFBFLY(8, 2, 8)
+	if got := f.BisectionChannels(); got != 32 {
+		t.Errorf("BisectionChannels = %d, want 32", got)
+	}
+	// Full bisection at c=k: 32 channels * 40G = 1280 Gb/s for 64 hosts
+	// = exactly N*rate/2.
+	if got := float64(f.BisectionChannels()) * 40; got != float64(f.NumHosts())*40/2 {
+		t.Errorf("bisection %v Gb/s, want %v", got, float64(f.NumHosts())*40/2)
+	}
+}
+
+// Property: Peer is symmetric for arbitrary (k, n, c) configurations.
+func TestFBFLYPeerSymmetryProperty(t *testing.T) {
+	f := func(kRaw, nRaw, cRaw uint8) bool {
+		k := int(kRaw%6) + 2 // 2..7
+		n := int(nRaw%3) + 2 // 2..4
+		c := int(cRaw%4) + 1 // 1..4
+		fb := MustFBFLY(k, n, c)
+		for sw := 0; sw < fb.NumSwitches(); sw++ {
+			for p := 0; p < fb.Radix(); p++ {
+				peer, ok := fb.Peer(sw, p)
+				if !ok {
+					return false
+				}
+				if peer.Kind != KindSwitch {
+					continue
+				}
+				back, ok := fb.Peer(peer.ID, peer.Port)
+				if !ok || back.Kind != KindSwitch || back.ID != sw || back.Port != p {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a greedy walk correcting one mismatched dimension per hop
+// always reaches the destination switch in MinimalHops steps.
+func TestFBFLYGreedyRoutingProperty(t *testing.T) {
+	fb := MustFBFLY(5, 3, 3)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		src := rng.Intn(fb.NumHosts())
+		dst := rng.Intn(fb.NumHosts())
+		cur, _ := fb.HostAttachment(src)
+		dstSw, _ := fb.HostAttachment(dst)
+		hops := 0
+		for cur != dstSw {
+			// Pick a random mismatched dimension, as adaptive routing may.
+			var dims []int
+			for d := 0; d < fb.D; d++ {
+				if fb.Coord(cur, d) != fb.Coord(dstSw, d) {
+					dims = append(dims, d)
+				}
+			}
+			d := dims[rng.Intn(len(dims))]
+			p := fb.PortToPeer(cur, d, fb.Coord(dstSw, d))
+			peer, ok := fb.Peer(cur, p)
+			if !ok || peer.Kind != KindSwitch {
+				t.Fatalf("bad hop from sw%d port %d", cur, p)
+			}
+			cur = peer.ID
+			hops++
+			if hops > fb.D {
+				t.Fatalf("walk src=%d dst=%d exceeded diameter", src, dst)
+			}
+		}
+		if want := fb.MinimalHops(src, dst); hops != want {
+			t.Fatalf("src=%d dst=%d: %d hops, want %d", src, dst, hops, want)
+		}
+	}
+}
+
+func TestFBFLYPortToPeerSelfPanics(t *testing.T) {
+	f := MustFBFLY(4, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("PortToPeer to own coordinate did not panic")
+		}
+	}()
+	f.PortToPeer(0, 0, f.Coord(0, 0))
+}

@@ -1,0 +1,193 @@
+// Package topo defines the network topologies used by the energy
+// proportional datacenter network study: the flattened butterfly
+// (k-ary n-flat) that is the paper's substrate, a two-level folded Clos
+// (fat tree) used as a simulatable baseline, and the analytic 3-stage
+// folded-Clos part-count model behind the paper's Table 1.
+//
+// A topology is a static description: switches, hosts, and the wiring
+// between switch ports. The fabric package instantiates a topology into
+// simulated switches and channels; the routing package computes candidate
+// output ports on top of a topology.
+package topo
+
+import "fmt"
+
+// Kind discriminates the two endpoint kinds of a channel.
+type Kind uint8
+
+const (
+	// KindHost is a server/NIC endpoint.
+	KindHost Kind = iota
+	// KindSwitch is a switch-chip endpoint.
+	KindSwitch
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHost:
+		return "host"
+	case KindSwitch:
+		return "switch"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Endpoint identifies one side of a link: a host, or a specific port of a
+// specific switch.
+type Endpoint struct {
+	Kind Kind
+	ID   int // host index or switch index
+	Port int // switch port; 0 for hosts
+}
+
+func (e Endpoint) String() string {
+	if e.Kind == KindHost {
+		return fmt.Sprintf("host%d", e.ID)
+	}
+	return fmt.Sprintf("sw%d.p%d", e.ID, e.Port)
+}
+
+// LinkClass classifies the physical medium of a link, which determines
+// its cost and (in the paper's analytic model) its power profile.
+type LinkClass uint8
+
+const (
+	// Electrical links are short passive-copper cables (<5 m), used for
+	// host attachment and intra-group wiring.
+	Electrical LinkClass = iota
+	// Optical links use optical transceivers and span longer distances.
+	Optical
+)
+
+func (c LinkClass) String() string {
+	if c == Electrical {
+		return "electrical"
+	}
+	return "optical"
+}
+
+// Topology is a static description of a network: its switches, hosts,
+// and port-level wiring. Implementations must be immutable after
+// construction so they can be shared freely.
+type Topology interface {
+	// Name returns a short human-readable description, e.g. "8-ary 2-flat".
+	Name() string
+	// NumSwitches returns the number of switch chips.
+	NumSwitches() int
+	// NumHosts returns the number of hosts (terminal nodes).
+	NumHosts() int
+	// Radix returns the number of ports on each switch.
+	Radix() int
+	// HostAttachment returns the switch and switch port that host h
+	// connects to.
+	HostAttachment(h int) (sw, port int)
+	// Peer returns the endpoint wired to switch sw's given port, and
+	// whether the port is connected at all.
+	Peer(sw, port int) (Endpoint, bool)
+	// LinkClass classifies the link attached to switch sw's given port.
+	LinkClass(sw, port int) LinkClass
+}
+
+// Link is an undirected physical link between two endpoints (each
+// physical link carries two unidirectional channels).
+type Link struct {
+	A, B  Endpoint
+	Class LinkClass
+}
+
+// Links enumerates every undirected link of a topology: all host
+// attachment links plus every switch-to-switch link exactly once.
+func Links(t Topology) []Link {
+	var out []Link
+	for h := 0; h < t.NumHosts(); h++ {
+		sw, port := t.HostAttachment(h)
+		out = append(out, Link{
+			A:     Endpoint{Kind: KindHost, ID: h},
+			B:     Endpoint{Kind: KindSwitch, ID: sw, Port: port},
+			Class: t.LinkClass(sw, port),
+		})
+	}
+	for sw := 0; sw < t.NumSwitches(); sw++ {
+		for p := 0; p < t.Radix(); p++ {
+			peer, ok := t.Peer(sw, p)
+			if !ok || peer.Kind != KindSwitch {
+				continue
+			}
+			// Count each switch-switch link once.
+			if peer.ID < sw || (peer.ID == sw && peer.Port < p) {
+				continue
+			}
+			out = append(out, Link{
+				A:     Endpoint{Kind: KindSwitch, ID: sw, Port: p},
+				B:     peer,
+				Class: t.LinkClass(sw, p),
+			})
+		}
+	}
+	return out
+}
+
+// CountLinks returns the number of electrical and optical undirected
+// links in the topology.
+func CountLinks(t Topology) (electrical, optical int) {
+	for _, l := range Links(t) {
+		if l.Class == Electrical {
+			electrical++
+		} else {
+			optical++
+		}
+	}
+	return electrical, optical
+}
+
+// Validate cross-checks the wiring of a topology: every connected switch
+// port's peer must point back at it, and host attachments must agree with
+// Peer. It returns the first inconsistency found.
+func Validate(t Topology) error {
+	for h := 0; h < t.NumHosts(); h++ {
+		sw, port := t.HostAttachment(h)
+		if sw < 0 || sw >= t.NumSwitches() {
+			return fmt.Errorf("host %d attaches to out-of-range switch %d", h, sw)
+		}
+		if port < 0 || port >= t.Radix() {
+			return fmt.Errorf("host %d attaches to out-of-range port %d", h, port)
+		}
+		peer, ok := t.Peer(sw, port)
+		if !ok {
+			return fmt.Errorf("host %d attachment sw%d.p%d reported unconnected", h, sw, port)
+		}
+		if peer.Kind != KindHost || peer.ID != h {
+			return fmt.Errorf("host %d attachment sw%d.p%d wired to %v", h, sw, port, peer)
+		}
+	}
+	for sw := 0; sw < t.NumSwitches(); sw++ {
+		for p := 0; p < t.Radix(); p++ {
+			peer, ok := t.Peer(sw, p)
+			if !ok {
+				continue
+			}
+			switch peer.Kind {
+			case KindHost:
+				psw, pport := t.HostAttachment(peer.ID)
+				if psw != sw || pport != p {
+					return fmt.Errorf("sw%d.p%d claims host %d, but host attaches at sw%d.p%d",
+						sw, p, peer.ID, psw, pport)
+				}
+			case KindSwitch:
+				if peer.ID < 0 || peer.ID >= t.NumSwitches() {
+					return fmt.Errorf("sw%d.p%d wired to out-of-range switch %d", sw, p, peer.ID)
+				}
+				back, ok := t.Peer(peer.ID, peer.Port)
+				if !ok {
+					return fmt.Errorf("sw%d.p%d wired to unconnected sw%d.p%d", sw, p, peer.ID, peer.Port)
+				}
+				if back.Kind != KindSwitch || back.ID != sw || back.Port != p {
+					return fmt.Errorf("sw%d.p%d -> sw%d.p%d but reverse is %v",
+						sw, p, peer.ID, peer.Port, back)
+				}
+			}
+		}
+	}
+	return nil
+}

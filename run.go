@@ -1,0 +1,433 @@
+package epnet
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"epnet/internal/core"
+	"epnet/internal/fabric"
+	"epnet/internal/link"
+	"epnet/internal/power"
+	"epnet/internal/routing"
+	"epnet/internal/sim"
+	"epnet/internal/stats"
+	"epnet/internal/topo"
+	"epnet/internal/traffic"
+)
+
+// simTime converts a wall-clock-style duration to simulator picoseconds.
+func simTime(d time.Duration) sim.Time { return sim.Time(d.Nanoseconds()) * sim.Nanosecond }
+
+// toDuration converts simulator time back to a time.Duration
+// (picoseconds truncate to nanoseconds).
+func toDuration(t sim.Time) time.Duration {
+	return time.Duration(int64(t) / int64(sim.Nanosecond))
+}
+
+// buildTopology constructs the configured topology and its router.
+func buildTopology(cfg Config) (topo.Topology, routing.Router, *routing.FBFLY, error) {
+	switch cfg.Topology {
+	case TopoFatTree:
+		t, err := topo.NewFatTree(cfg.C, cfg.K, cfg.K)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return t, routing.NewFatTree(t), nil, nil
+	case TopoClos3:
+		t, err := topo.NewClos3(cfg.K)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return t, routing.NewClos3(t), nil, nil
+	default:
+		t, err := topo.NewFBFLY(cfg.K, cfg.N, cfg.C)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if cfg.Routing == RoutingDOR {
+			return t, &routing.DOR{F: t}, nil, nil
+		}
+		r := routing.NewFBFLY(t)
+		return t, r, r, nil
+	}
+}
+
+// buildWorkload constructs the configured workload.
+func buildWorkload(cfg Config) (traffic.Workload, error) {
+	var w traffic.Workload
+	switch cfg.Workload {
+	case WorkloadTrace:
+		f, err := os.Open(cfg.TracePath)
+		if err != nil {
+			return nil, fmt.Errorf("epnet: opening trace: %w", err)
+		}
+		defer f.Close()
+		recs, err := traffic.ReadTrace(f)
+		if err != nil {
+			return nil, err
+		}
+		return &traffic.Replay{Label: cfg.TracePath, Records: recs}, nil
+	case WorkloadSearch:
+		tl := traffic.Search(cfg.Seed)
+		if cfg.Load > 0 {
+			tl.Load = cfg.Load
+		}
+		w = tl
+	case WorkloadAdvert:
+		tl := traffic.Advert(cfg.Seed)
+		if cfg.Load > 0 {
+			tl.Load = cfg.Load
+		}
+		w = tl
+	case WorkloadPermutation:
+		load := cfg.Load
+		if load == 0 {
+			load = 0.1
+		}
+		w = &traffic.Permutation{MsgBytes: 64 * 1024, Load: load, LineRate: link.Rate40G, Seed: cfg.Seed}
+	case WorkloadTornado:
+		load := cfg.Load
+		if load == 0 {
+			load = 0.1
+		}
+		w = &traffic.Tornado{MsgBytes: 64 * 1024, Load: load, LineRate: link.Rate40G, Seed: cfg.Seed}
+	case WorkloadHotspot:
+		load := cfg.Load
+		if load == 0 {
+			load = 0.05
+		}
+		w = &traffic.Hotspot{MsgBytes: 64 * 1024, Load: load, LineRate: link.Rate40G, Hot: 4, Seed: cfg.Seed}
+	default:
+		u := traffic.DefaultUniform(cfg.Seed)
+		if cfg.Load > 0 {
+			u.Load = cfg.Load
+		}
+		w = u
+	}
+	return w, nil
+}
+
+// Run executes one simulation described by cfg and returns its
+// measurements. The run is deterministic for a given Config.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	e := sim.New()
+	t, router, fbflyRouter, err := buildTopology(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	fcfg := fabric.DefaultConfig()
+	fcfg.MaxPacket = cfg.MaxPacket
+	fcfg.Seed = cfg.Seed
+	net, err := fabric.New(e, t, router, fcfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Latency is recorded only for packets injected after warmup.
+	warmup := simTime(cfg.Warmup)
+	horizon := warmup + simTime(cfg.Duration)
+	lat := stats.NewLatency()
+	net.OnDeliver = func(p *fabric.Packet, now sim.Time) {
+		if p.Inject >= warmup {
+			lat.Add(now - p.Inject)
+		}
+	}
+	msgLat := stats.NewLatency()
+	net.OnMessageDone = func(_ int64, _, _ int, inject, done sim.Time) {
+		if inject >= warmup {
+			msgLat.Add(done - inject)
+		}
+	}
+
+	// Link control.
+	var ctrl *core.Controller
+	switch cfg.Policy {
+	case PolicyBaseline:
+		// Links stay at the ladder maximum; nothing to do.
+	case PolicyStaticMin:
+		for _, ch := range net.Channels() {
+			ch.L.SetRate(0, fcfg.Ladder.Min(), 0)
+		}
+	default:
+		ctrl = &core.Controller{
+			Net:          net,
+			Epoch:        simTime(cfg.Epoch),
+			Reactivation: simTime(cfg.Reactivation),
+			Paired:       !cfg.Independent,
+		}
+		ctrl.ModeAware = cfg.ModeAwareReactivation
+		switch cfg.Policy {
+		case PolicyMinMax:
+			ctrl.Policy = core.MinMax{Target: cfg.TargetUtil}
+		case PolicyHysteresis:
+			ctrl.Policy = core.Hysteresis{Target: cfg.TargetUtil}
+		case PolicyQueueAware:
+			ctrl.Policy = core.QueueAware{Target: cfg.TargetUtil, BurstBytes: 64 * 1024}
+		default:
+			ctrl.Policy = core.HalveDouble{Target: cfg.TargetUtil}
+		}
+		if err := ctrl.Start(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	var dyn *core.DynTopo
+	if cfg.DynTopo {
+		if fbflyRouter == nil {
+			return Result{}, fmt.Errorf("epnet: dynamic topology requires FBFLY")
+		}
+		dyn = core.DefaultDynTopo(net, fbflyRouter)
+		dyn.Reactivation = simTime(cfg.Reactivation)
+		if err := dyn.Start(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Workload.
+	w, err := buildWorkload(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	w.Start(e, net, horizon)
+
+	// Optional abrupt link failures (§1 failure-domain experiment).
+	if cfg.FailLinks > 0 {
+		failAt := cfg.FailAfter
+		if failAt == 0 {
+			failAt = cfg.Duration / 4
+		}
+		at := warmup + simTime(failAt)
+		frng := rand.New(rand.NewSource(cfg.Seed ^ 0x0FA11))
+		e.At(at, func(now sim.Time) {
+			var interSwitch [][2]*fabric.Chan
+			for _, pr := range net.Pairs() {
+				if pr[0].Src.Kind == topo.KindSwitch && pr[0].Dst.Kind == topo.KindSwitch {
+					interSwitch = append(interSwitch, pr)
+				}
+			}
+			frng.Shuffle(len(interSwitch), func(i, j int) {
+				interSwitch[i], interSwitch[j] = interSwitch[j], interSwitch[i]
+			})
+			// A failure is only injected if both endpoint switches keep
+			// at least one live link in the affected dimension, so the
+			// network stays connected (real clusters with this much
+			// damage would be drained by operators anyway).
+			fb := fbflyRouter.F
+			liveInDim := func(sw, dim int) int {
+				live := 0
+				for v := 0; v < fb.K; v++ {
+					if v == fb.Coord(sw, dim) {
+						continue
+					}
+					if !fbflyRouter.Dead(sw, fb.PortToPeer(sw, dim, v)) {
+						live++
+					}
+				}
+				return live
+			}
+			failed := 0
+			for _, pr := range interSwitch {
+				if failed == cfg.FailLinks {
+					break
+				}
+				dim := fb.PortDim(pr[0].Src.Port)
+				if liveInDim(pr[0].Src.ID, dim) < 2 || liveInDim(pr[1].Src.ID, dim) < 2 {
+					continue
+				}
+				for _, ch := range pr {
+					ch.L.PowerOff(now)
+					fbflyRouter.SetDead(ch.Src.ID, ch.Src.Port, true)
+					// Kick the port so queued packets reroute.
+					net.Switches[ch.Src.ID].PumpPort(ch.Src.Port, now)
+				}
+				failed++
+			}
+		})
+	}
+
+	// Optional instantaneous power sampling.
+	var trace []PowerSample
+	if cfg.PowerSampleEvery > 0 {
+		interval := simTime(cfg.PowerSampleEvery)
+		measured := power.InfiniBandOptical()
+		idealP := power.NewIdeal(fcfg.Ladder.Max())
+		var lastBytes int64
+		var sample func(now sim.Time)
+		sample = func(now sim.Time) {
+			if now > horizon {
+				return
+			}
+			var pm, pi float64
+			var bytes int64
+			for _, ch := range net.Channels() {
+				if ch.L.State(now) == link.Off {
+					pm += measured.Off()
+					pi += idealP.Off()
+				} else {
+					pm += measured.Relative(ch.L.Rate())
+					pi += idealP.Relative(ch.L.Rate())
+				}
+				bytes += ch.L.TotalBytes()
+			}
+			n := float64(len(net.Channels()))
+			capacity := float64(fcfg.Ladder.Max()) / 8 * interval.Seconds() * n
+			util := 0.0
+			if capacity > 0 {
+				util = float64(bytes-lastBytes) / capacity
+			}
+			lastBytes = bytes
+			trace = append(trace, PowerSample{
+				At:       toDuration(now - warmup),
+				Measured: pm / n,
+				Ideal:    pi / n,
+				Util:     util,
+			})
+			e.After(interval, sample)
+		}
+		// Channel byte counters reset at the warmup boundary, so the
+		// first sample (one interval in) sees exactly the bytes moved
+		// since then.
+		e.At(warmup+interval, sample)
+	}
+
+	// Warmup, then reset accounting so power/occupancy reflect steady
+	// state.
+	e.RunUntil(warmup)
+	for _, ch := range net.Channels() {
+		ch.L.ResetAccounting(e.Now())
+	}
+	if ctrl != nil {
+		ctrl.Reconfigurations = 0
+	}
+	e.RunUntil(horizon)
+
+	// Collect.
+	res := Result{
+		Config:   cfg,
+		Hosts:    t.NumHosts(),
+		Switches: t.NumSwitches(),
+		Channels: len(net.Channels()),
+	}
+	res.MeanLatency = toDuration(lat.Mean())
+	res.P50Latency = toDuration(lat.Percentile(50))
+	res.P99Latency = toDuration(lat.Percentile(99))
+	res.MaxLatency = toDuration(lat.Max())
+	res.Packets = lat.Count()
+	res.MsgMeanLatency = toDuration(msgLat.Mean())
+	res.MsgP99Latency = toDuration(msgLat.Percentile(99))
+	res.Messages = msgLat.Count()
+
+	share := stats.NewRateShare()
+	measured := power.InfiniBandOptical()
+	copper := power.InfiniBandCopper()
+	ideal := power.NewIdeal(fcfg.Ladder.Max())
+	var pm, pi, util float64
+	classAcc := map[string]float64{}
+	classCnt := map[string]float64{}
+	now := e.Now()
+	for _, ch := range net.Channels() {
+		occ := ch.L.Occupancy(now)
+		share.Add(occ)
+		pm += power.OccupancyPower(occ, measured)
+		pi += power.OccupancyPower(occ, ideal)
+		util += ch.L.MeanUtilization(now)
+
+		// Per-class breakdown: host channels are electrical; switch
+		// channels follow the topology's packaging classification.
+		class := topo.Electrical
+		if ch.Src.Kind == topo.KindSwitch {
+			class = t.LinkClass(ch.Src.ID, ch.Src.Port)
+		}
+		prof := power.Profile(measured)
+		if class == topo.Electrical {
+			prof = copper
+		}
+		classAcc[class.String()] += power.OccupancyPower(occ, prof)
+		classCnt[class.String()]++
+	}
+	nch := float64(len(net.Channels()))
+	res.RelPowerMeasured = pm / nch
+	res.RelPowerIdeal = pi / nch
+	res.AvgUtil = util / nch
+	res.ClassPower = make(map[string]float64, len(classAcc))
+	for class, acc := range classAcc {
+		res.ClassPower[class] = acc / classCnt[class]
+	}
+
+	// Directional asymmetry across link pairs (byte-weighted).
+	var asymNum, asymDen float64
+	for _, pr := range net.Pairs() {
+		a := float64(pr[0].L.TotalBytes())
+		b := float64(pr[1].L.TotalBytes())
+		if a+b == 0 {
+			continue
+		}
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		asymNum += d
+		asymDen += a + b
+	}
+	if asymDen > 0 {
+		res.Asymmetry = asymNum / asymDen
+	}
+
+	// Energy estimate: the simulated network's part power scaled by the
+	// measured relative power, integrated over the measurement window.
+	parts := power.DefaultPartPower()
+	fullWatts := float64(res.Switches)*parts.SwitchChipWatts +
+		float64(res.Hosts)*parts.NICWatts
+	res.EstimatedWatts = fullWatts * res.RelPowerMeasured
+	res.EnergyJoules = res.EstimatedWatts * simTime(cfg.Duration).Seconds()
+
+	for _, b := range lat.Buckets() {
+		res.LatencyCDF = append(res.LatencyCDF, LatencyBucket{
+			Upper: toDuration(b.Upper),
+			Count: b.Count,
+		})
+	}
+	res.RateShare = make(map[float64]float64)
+	for _, r := range share.Rates() {
+		res.RateShare[r.GbpsF()] = share.Fraction(r)
+	}
+	res.OffShare = share.OffFraction()
+	if ctrl != nil {
+		res.Reconfigurations = ctrl.Reconfigurations
+	}
+	if dyn != nil {
+		res.DynTransitions = dyn.Transitions
+	}
+	res.InjectedPackets, _ = net.Injected()
+	res.DeliveredPackets, res.DeliveredBytes = net.Delivered()
+	res.BacklogBytes = net.HostBacklogBytes()
+	res.PeakQueueBytes = net.PeakQueueBytes()
+	res.PowerTrace = trace
+	return res, nil
+}
+
+// RunBaselinePair runs cfg and its always-on baseline twin (identical
+// except Policy=Baseline) and returns both plus the additional mean
+// latency the energy-proportional configuration costs — the paper's
+// Figure 9 metric.
+func RunBaselinePair(cfg Config) (ep, base Result, addedMean time.Duration, err error) {
+	base = Result{}
+	bcfg := cfg
+	bcfg.Policy = PolicyBaseline
+	base, err = Run(bcfg)
+	if err != nil {
+		return
+	}
+	ep, err = Run(cfg)
+	if err != nil {
+		return
+	}
+	addedMean = ep.MeanLatency - base.MeanLatency
+	return
+}
