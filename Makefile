@@ -1,0 +1,32 @@
+# Common development loops for epnet. Pure Go, stdlib only.
+
+GO ?= go
+
+.PHONY: all build test race vet bench fmt experiments
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector; the parallel experiment runner
+# and the concurrent-engines tests are the interesting targets.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Hot-path microbenchmarks: event engine scheduling and fabric
+# packet throughput (ns/op, allocs/op), plus the figure regenerators.
+bench:
+	$(GO) test -bench . -benchmem ./internal/sim/ ./internal/fabric/
+
+fmt:
+	gofmt -l -w .
+
+experiments:
+	$(GO) run ./cmd/experiments

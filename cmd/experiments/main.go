@@ -11,12 +11,15 @@
 //	                            # policies, dyntopo
 //	experiments -full           # paper-scale 15-ary 3-flat (slow)
 //	experiments -duration 10ms  # longer measurement window
+//	experiments -parallel 4     # cap concurrent simulations (default: one per CPU)
+//	experiments -parallel 1     # force serial execution (same output, slower)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -32,6 +35,7 @@ func main() {
 	duration := flag.Duration("duration", 0, "override measurement window")
 	warmup := flag.Duration("warmup", 0, "override warmup")
 	seed := flag.Int64("seed", 1, "random seed")
+	par := flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations per experiment (1 = serial; output is identical either way)")
 	flag.Parse()
 
 	eval := epnet.DefaultEval()
@@ -45,6 +49,7 @@ func main() {
 		eval.Warmup = *warmup
 	}
 	eval.Seed = *seed
+	eval.Parallel = *par
 
 	run := func(name string, fn func(epnet.EvalConfig)) {
 		if *only != "" && *only != name {
@@ -52,7 +57,11 @@ func main() {
 		}
 		start := time.Now()
 		fn(eval)
-		fmt.Printf("  [%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		// Timing is diagnostic and varies run to run; keep it off stdout
+		// so experiment output is byte-identical across runs and across
+		// -parallel settings.
+		fmt.Fprintf(os.Stderr, "  [%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
 	}
 
 	fmt.Printf("== Energy Proportional Datacenter Networks — experiment harness ==\n")

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -39,6 +40,7 @@ func main() {
 	warmup := flag.Duration("warmup", time.Millisecond, "warmup")
 	seed := flag.Int64("seed", 1, "seed")
 	out := flag.String("o", "", "output CSV file (default stdout)")
+	par := flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations (1 = serial; output is identical either way)")
 	flag.Parse()
 
 	if *values == "" {
@@ -64,6 +66,10 @@ func main() {
 		fail(err)
 	}
 
+	// Build the whole grid first, then fan the independent runs out
+	// across -parallel workers; rows are emitted in input order.
+	var raws []string
+	var cfgs []epnet.Config
 	for _, raw := range strings.Split(*values, ",") {
 		raw = strings.TrimSpace(raw)
 		cfg := epnet.DefaultConfig()
@@ -106,13 +112,17 @@ func main() {
 		default:
 			fail(fmt.Errorf("unknown axis %q", *axis))
 		}
+		raws = append(raws, raw)
+		cfgs = append(cfgs, cfg)
+	}
 
-		res, err := epnet.Run(cfg)
-		if err != nil {
-			fail(err)
-		}
+	results, err := epnet.RunGrid(cfgs, *par)
+	if err != nil {
+		fail(err)
+	}
+	for i, res := range results {
 		row := []string{
-			raw,
+			raws[i],
 			fmt.Sprintf("%.3f", float64(res.MeanLatency.Nanoseconds())/1000),
 			fmt.Sprintf("%.3f", float64(res.P99Latency.Nanoseconds())/1000),
 			fmt.Sprintf("%.4f", res.RelPowerMeasured),

@@ -16,6 +16,12 @@ type EvalConfig struct {
 	Warmup   time.Duration
 	Duration time.Duration
 	Seed     int64
+
+	// Parallel is the number of simulations run concurrently within one
+	// experiment (each on its own engine): < 1 means one per CPU, 1
+	// forces serial execution. Results are identical either way — see
+	// RunGrid.
+	Parallel int
 }
 
 // DefaultEval returns the fast evaluation scale: an 8-ary 2-flat
@@ -38,6 +44,12 @@ func (e EvalConfig) base() Config {
 	return cfg
 }
 
+// grid runs a set of independent configurations with the evaluation's
+// configured parallelism, results in input order.
+func (e EvalConfig) grid(cfgs []Config) ([]Result, error) {
+	return RunGrid(cfgs, e.Parallel)
+}
+
 // evalWorkloads are the three workloads of §4.1 in the paper's order.
 var evalWorkloads = []WorkloadKind{WorkloadUniform, WorkloadAdvert, WorkloadSearch}
 
@@ -55,21 +67,20 @@ type Figure7Result struct {
 // 10 µs epoch, 50% target utilization.
 func Figure7(e EvalConfig) (Figure7Result, error) {
 	var out Figure7Result
-	for _, independent := range []bool{false, true} {
+	cfgs := make([]Config, 2)
+	for i, independent := range []bool{false, true} {
 		cfg := e.base()
 		cfg.Workload = WorkloadSearch
 		cfg.Policy = PolicyHalveDouble
 		cfg.Independent = independent
-		res, err := Run(cfg)
-		if err != nil {
-			return out, err
-		}
-		if independent {
-			out.Independent = res.RateShare
-		} else {
-			out.Paired = res.RateShare
-		}
+		cfgs[i] = cfg
 	}
+	results, err := e.grid(cfgs)
+	if err != nil {
+		return out, err
+	}
+	out.Paired = results[0].RateShare
+	out.Independent = results[1].RateShare
 	return out, nil
 }
 
@@ -98,7 +109,9 @@ type Figure8Row struct {
 // Figure8 reproduces Figures 8a and 8b for all three workloads, and the
 // §4.2.1 latency/power numbers.
 func Figure8(e EvalConfig) ([]Figure8Row, error) {
-	var rows []Figure8Row
+	// Three independent runs per workload: always-on baseline, paired
+	// EP control, independent EP control.
+	var cfgs []Config
 	for _, w := range evalWorkloads {
 		cfg := e.base()
 		cfg.Workload = w
@@ -106,30 +119,29 @@ func Figure8(e EvalConfig) ([]Figure8Row, error) {
 
 		base := cfg
 		base.Policy = PolicyBaseline
-		bres, err := Run(base)
-		if err != nil {
-			return nil, err
-		}
-
-		row := Figure8Row{Workload: w}
+		cfgs = append(cfgs, base)
 		for _, independent := range []bool{false, true} {
 			cfg.Independent = independent
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			if independent {
-				row.MeasuredIndependent = res.RelPowerMeasured
-				row.IdealIndependent = res.RelPowerIdeal
-				row.AddedMeanLatencyIndep = res.MeanLatency - bres.MeanLatency
-			} else {
-				row.MeasuredPaired = res.RelPowerMeasured
-				row.IdealPaired = res.RelPowerIdeal
-				row.AddedMeanLatency = res.MeanLatency - bres.MeanLatency
-			}
-			row.IdealBound = res.AvgUtil
+			cfgs = append(cfgs, cfg)
 		}
-		rows = append(rows, row)
+	}
+	results, err := e.grid(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Figure8Row
+	for i, w := range evalWorkloads {
+		bres, paired, indep := results[3*i], results[3*i+1], results[3*i+2]
+		rows = append(rows, Figure8Row{
+			Workload:              w,
+			MeasuredPaired:        paired.RelPowerMeasured,
+			MeasuredIndependent:   indep.RelPowerMeasured,
+			IdealPaired:           paired.RelPowerIdeal,
+			IdealIndependent:      indep.RelPowerIdeal,
+			IdealBound:            indep.AvgUtil,
+			AddedMeanLatency:      paired.MeanLatency - bres.MeanLatency,
+			AddedMeanLatencyIndep: indep.MeanLatency - bres.MeanLatency,
+		})
 	}
 	return rows, nil
 }
@@ -147,24 +159,32 @@ type Figure9aRow struct {
 // utilizations of 25, 50 and 75%, with 1 µs reactivation and paired
 // links.
 func Figure9a(e EvalConfig) ([]Figure9aRow, error) {
-	var rows []Figure9aRow
+	targets := []float64{0.25, 0.5, 0.75}
+	// Per workload: one baseline run plus one run per target.
+	var cfgs []Config
 	for _, w := range evalWorkloads {
 		base := e.base()
 		base.Workload = w
 		base.Policy = PolicyBaseline
-		bres, err := Run(base)
-		if err != nil {
-			return nil, err
-		}
-		for _, target := range []float64{0.25, 0.5, 0.75} {
+		cfgs = append(cfgs, base)
+		for _, target := range targets {
 			cfg := e.base()
 			cfg.Workload = w
 			cfg.Policy = PolicyHalveDouble
 			cfg.TargetUtil = target
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := e.grid(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	stride := 1 + len(targets)
+	var rows []Figure9aRow
+	for i, w := range evalWorkloads {
+		bres := results[stride*i]
+		for j, target := range targets {
+			res := results[stride*i+1+j]
 			rows = append(rows, Figure9aRow{
 				Workload:   w,
 				Target:     target,
@@ -197,7 +217,8 @@ func Figure9b(e EvalConfig) ([]Figure9bRow, error) {
 		10 * time.Microsecond,
 		100 * time.Microsecond,
 	}
-	var rows []Figure9bRow
+	// Per (workload, reactivation): a baseline/EP pair of runs.
+	var cfgs []Config
 	for _, w := range evalWorkloads {
 		for _, react := range reacts {
 			cfg := e.base()
@@ -210,14 +231,18 @@ func Figure9b(e EvalConfig) ([]Figure9bRow, error) {
 			}
 			base := cfg
 			base.Policy = PolicyBaseline
-			bres, err := Run(base)
-			if err != nil {
-				return nil, err
-			}
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
+			cfgs = append(cfgs, base, cfg)
+		}
+	}
+	results, err := e.grid(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Figure9bRow
+	for i, w := range evalWorkloads {
+		for j, react := range reacts {
+			pair := 2 * (i*len(reacts) + j)
+			bres, res := results[pair], results[pair+1]
 			rows = append(rows, Figure9bRow{
 				Workload:     w,
 				Reactivation: react,
@@ -247,15 +272,20 @@ func PolicyAblation(e EvalConfig, w WorkloadKind) ([]PolicyAblationRow, error) {
 	policies := []PolicyKind{
 		PolicyBaseline, PolicyStaticMin, PolicyHalveDouble, PolicyMinMax, PolicyHysteresis,
 	}
-	var rows []PolicyAblationRow
-	for _, p := range policies {
+	cfgs := make([]Config, len(policies))
+	for i, p := range policies {
 		cfg := e.base()
 		cfg.Workload = w
 		cfg.Policy = p
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = cfg
+	}
+	results, err := e.grid(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []PolicyAblationRow
+	for i, p := range policies {
+		res := results[i]
 		rows = append(rows, PolicyAblationRow{
 			Policy:     p,
 			RelPowerM:  res.RelPowerMeasured,
@@ -285,17 +315,22 @@ type DynTopoRow struct {
 // not evaluating it); with ideal channels it recovers the remaining
 // fixed cost of idle links.
 func DynTopoExperiment(e EvalConfig, w WorkloadKind) ([]DynTopoRow, error) {
-	var rows []DynTopoRow
-	for _, dyn := range []bool{false, true} {
+	cfgs := make([]Config, 2)
+	for i, dyn := range []bool{false, true} {
 		cfg := e.base()
 		cfg.Workload = w
 		cfg.Policy = PolicyHalveDouble
 		cfg.Independent = true
 		cfg.DynTopo = dyn
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = cfg
+	}
+	results, err := e.grid(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []DynTopoRow
+	for i, dyn := range []bool{false, true} {
+		res := results[i]
 		name := "rate tuning only"
 		if dyn {
 			name = "rate tuning + dynamic topology"
@@ -332,8 +367,9 @@ func RoutingAblation(e EvalConfig, w WorkloadKind) ([]RoutingAblationRow, error)
 	if e.N < 3 {
 		e.K, e.N, e.C = 4, 3, 4 // 64 hosts, 16 switches, 2 switch dims
 	}
-	var rows []RoutingAblationRow
-	for _, r := range []RoutingKind{RoutingAdaptive, RoutingDOR} {
+	routings := []RoutingKind{RoutingAdaptive, RoutingDOR}
+	cfgs := make([]Config, len(routings))
+	for i, r := range routings {
 		cfg := e.base()
 		cfg.Workload = w
 		if w == WorkloadPermutation {
@@ -344,10 +380,15 @@ func RoutingAblation(e EvalConfig, w WorkloadKind) ([]RoutingAblationRow, error)
 		}
 		cfg.Policy = PolicyHalveDouble
 		cfg.Routing = r
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = cfg
+	}
+	results, err := e.grid(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []RoutingAblationRow
+	for i, r := range routings {
+		res := results[i]
 		rows = append(rows, RoutingAblationRow{
 			Routing:    r,
 			MeanLat:    res.MeanLatency,
@@ -386,8 +427,8 @@ func ReactivationAblation(e EvalConfig, w WorkloadKind) ([]ReactivationModelRow,
 		// tracking bursts much more closely.
 		{"mode-aware penalties, 2us epoch", true, 2 * time.Microsecond},
 	}
-	var rows []ReactivationModelRow
-	for _, v := range variants {
+	cfgs := make([]Config, len(variants))
+	for i, v := range variants {
 		cfg := e.base()
 		cfg.Workload = w
 		cfg.Policy = PolicyHalveDouble
@@ -396,10 +437,15 @@ func ReactivationAblation(e EvalConfig, w WorkloadKind) ([]ReactivationModelRow,
 			cfg.Epoch = v.epoch
 			cfg.Reactivation = time.Microsecond
 		}
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = cfg
+	}
+	results, err := e.grid(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ReactivationModelRow
+	for i, v := range variants {
+		res := results[i]
 		rows = append(rows, ReactivationModelRow{
 			Name:       v.name,
 			MeanLat:    res.MeanLatency,
@@ -431,17 +477,22 @@ type OverSubRow struct {
 func OverSubscription(e EvalConfig, w WorkloadKind, cs []int) ([]OverSubRow, error) {
 	parts := 100.0 // switch chip watts
 	nic := 10.0
-	var rows []OverSubRow
-	for _, c := range cs {
+	cfgs := make([]Config, len(cs))
+	for i, c := range cs {
 		cfg := e.base()
 		cfg.C = c
 		cfg.Workload = w
 		cfg.Policy = PolicyHalveDouble
 		cfg.Independent = true
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = cfg
+	}
+	results, err := e.grid(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []OverSubRow
+	for i, c := range cs {
+		res := results[i]
 		rows = append(rows, OverSubRow{
 			C:          c,
 			Hosts:      res.Hosts,
@@ -479,8 +530,9 @@ func TopologyComparison(e EvalConfig, w WorkloadKind) ([]TopoCompareRow, error) 
 	for i := 1; i < e.N; i++ {
 		fbflyHosts *= e.K
 	}
-	var rows []TopoCompareRow
-	for _, tk := range []TopologyKind{TopoFBFLY, TopoFatTree, TopoClos3} {
+	topos := []TopologyKind{TopoFBFLY, TopoFatTree, TopoClos3}
+	cfgs := make([]Config, len(topos))
+	for i, tk := range topos {
 		cfg := e.base()
 		cfg.Topology = tk
 		if tk == TopoFatTree {
@@ -511,10 +563,15 @@ func TopologyComparison(e EvalConfig, w WorkloadKind) ([]TopoCompareRow, error) 
 		cfg.Workload = w
 		cfg.Policy = PolicyHalveDouble
 		cfg.Independent = true
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = cfg
+	}
+	results, err := e.grid(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []TopoCompareRow
+	for i, tk := range topos {
+		res := results[i]
 		rows = append(rows, TopoCompareRow{
 			Topology:   tk,
 			Hosts:      res.Hosts,
@@ -542,16 +599,21 @@ type ResilienceRow struct {
 // failure domain from the available network bandwidth domain". The
 // FBFLY router misroutes around dead links with one extra hop.
 func Resilience(e EvalConfig, w WorkloadKind, failCounts []int) ([]ResilienceRow, error) {
-	var rows []ResilienceRow
-	for _, n := range failCounts {
+	cfgs := make([]Config, len(failCounts))
+	for i, n := range failCounts {
 		cfg := e.base()
 		cfg.Workload = w
 		cfg.Policy = PolicyHalveDouble
 		cfg.FailLinks = n
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = cfg
+	}
+	results, err := e.grid(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ResilienceRow
+	for i, n := range failCounts {
+		res := results[i]
 		rate := 0.0
 		if res.InjectedPackets > 0 {
 			rate = float64(res.DeliveredPackets) / float64(res.InjectedPackets)

@@ -10,8 +10,14 @@ import (
 )
 
 // BenchmarkNetworkThroughput measures raw simulated-packet throughput
-// on an 8-ary 2-flat under uniform random single-packet messages.
+// on an 8-ary 2-flat under uniform random single-packet messages. One
+// benchmark op is a steady-state unit — inject a batch of messages and
+// fully drain the network — so injection, routing, transmission and
+// delivery are all inside the timed region in a fixed proportion.
+// With MaxPacket 2048 each message is exactly one packet, so allocs/op
+// divided by the batch size is allocations per packet.
 func BenchmarkNetworkThroughput(b *testing.B) {
+	const batch = 1024
 	e := sim.New()
 	f := topo.MustFBFLY(8, 2, 8)
 	n, err := New(e, f, routing.NewFBFLY(f), DefaultConfig())
@@ -19,25 +25,31 @@ func BenchmarkNetworkThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(1))
+	inject := func() {
+		for j := 0; j < batch; j++ {
+			src := rng.Intn(64)
+			dst := rng.Intn(64)
+			if dst == src {
+				dst = (dst + 1) % 64
+			}
+			n.InjectMessage(src, dst, 2048)
+		}
+		e.Run()
+	}
+	inject() // reach steady state (warm free lists and queues) untimed
+	b.SetBytes(batch * 2048)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		src := rng.Intn(64)
-		dst := rng.Intn(64)
-		if dst == src {
-			dst = (dst + 1) % 64
-		}
-		n.InjectMessage(src, dst, 2048)
-		if i%1024 == 1023 {
-			e.Run() // drain periodically
-		}
+		inject()
 	}
-	e.Run()
 	b.StopTimer()
 	inj, _ := n.Injected()
 	del, _ := n.Delivered()
 	if inj != del {
 		b.Fatalf("lost packets: %d != %d", inj, del)
 	}
+	b.ReportMetric(float64(del-batch)/b.Elapsed().Seconds(), "pkts/sec")
 }
 
 // BenchmarkChoosePort measures the adaptive route choice on a

@@ -139,6 +139,18 @@ type Network struct {
 	msgRemaining  map[int64]int
 	msgInject     map[int64]sim.Time
 
+	// pktFree recycles delivered packets. A per-network free list (not a
+	// sync.Pool) keeps recycling deterministic: each engine is
+	// single-threaded, and steady-state simulation allocates no packets
+	// once the list reaches the in-flight high-water mark.
+	pktFree []*Packet
+
+	// Pre-bound ArgEvent handlers for the per-packet events, created
+	// once in New so scheduling them never allocates a closure.
+	fnDeliver sim.ArgEvent
+	fnArrive  sim.ArgEvent
+	fnCredit  sim.ArgEvent
+
 	nextPktID      int64
 	nextMsgID      int64
 	injectedPkts   int64
@@ -160,6 +172,9 @@ func New(e *sim.Engine, t topo.Topology, r routing.Router, cfg Config) (*Network
 		Cfg: cfg,
 		rng: rand.New(rand.NewSource(cfg.Seed)),
 	}
+	n.fnDeliver = n.deliverEvent
+	n.fnArrive = n.arriveEvent
+	n.fnCredit = n.creditEvent
 	n.Switches = make([]*Switch, t.NumSwitches())
 	for sw := range n.Switches {
 		n.Switches[sw] = newSwitch(n, sw, t.Radix())
@@ -276,7 +291,8 @@ func (n *Network) InjectMessage(src, dst, size int) {
 			sz = size - off
 		}
 		n.nextPktID++
-		p := &Packet{ID: n.nextPktID, MsgID: n.nextMsgID, Src: src, Dst: dst,
+		p := n.allocPacket()
+		*p = Packet{ID: n.nextPktID, MsgID: n.nextMsgID, Src: src, Dst: dst,
 			Size: sz, Inject: now}
 		h.q.push(p)
 		h.backlogBytes += int64(sz)
@@ -286,6 +302,21 @@ func (n *Network) InjectMessage(src, dst, size int) {
 	h.pump(now)
 }
 
+// allocPacket takes a packet from the free list, or allocates one.
+func (n *Network) allocPacket() *Packet {
+	if len(n.pktFree) == 0 {
+		return new(Packet)
+	}
+	p := n.pktFree[len(n.pktFree)-1]
+	n.pktFree = n.pktFree[:len(n.pktFree)-1]
+	return p
+}
+
+// freePacket returns a delivered packet to the free list.
+func (n *Network) freePacket(p *Packet) {
+	n.pktFree = append(n.pktFree, p)
+}
+
 // deliverAcross moves pkt over channel c: it was transmitted during
 // [start, done]; schedule its arrival on the far side and the credit
 // return for this channel.
@@ -293,23 +324,36 @@ func (n *Network) deliverAcross(c *Chan, pkt *Packet, start, done sim.Time) {
 	headIn := start + n.Cfg.WireDelay
 	tailIn := done + n.Cfg.WireDelay
 	pkt.HeadIn, pkt.TailIn = headIn, tailIn
+	pkt.ch = c
 	switch c.Dst.Kind {
 	case topo.KindHost:
-		host := n.Hosts[c.Dst.ID]
-		n.E.At(tailIn, func(now sim.Time) { host.deliver(pkt, now) })
+		n.E.AtArg(tailIn, n.fnDeliver, pkt, 0)
 	case topo.KindSwitch:
-		dsw := n.Switches[c.Dst.ID]
-		at := headIn + n.Cfg.RoutingDelay
-		n.E.At(at, func(now sim.Time) {
-			// The packet leaves the input buffer for an output queue
-			// once routed; return the credit upstream after the credit
-			// propagation delay.
-			n.E.At(now+n.Cfg.CreditDelay, func(cnow sim.Time) {
-				c.returnCredits(pkt.Size, cnow)
-			})
-			dsw.arrive(pkt, now)
-		})
+		n.E.AtArg(headIn+n.Cfg.RoutingDelay, n.fnArrive, pkt, 0)
 	}
+}
+
+// deliverEvent sinks a packet at its destination host.
+func (n *Network) deliverEvent(now sim.Time, arg any, _ int64) {
+	p := arg.(*Packet)
+	n.Hosts[p.Dst].deliver(p, now)
+}
+
+// arriveEvent routes a packet that reached a switch input. The packet
+// leaves the input buffer for an output queue once routed; the credit
+// returns upstream after the credit propagation delay. The channel and
+// size are read before arrive, which may immediately send the packet
+// onward (overwriting p.ch) or, at the final hop, recycle it.
+func (n *Network) arriveEvent(now sim.Time, arg any, _ int64) {
+	p := arg.(*Packet)
+	ch := p.ch
+	n.E.AtArg(now+n.Cfg.CreditDelay, n.fnCredit, ch, int64(p.Size))
+	n.Switches[ch.Dst.ID].arrive(p, now)
+}
+
+// creditEvent returns size credits on a channel.
+func (n *Network) creditEvent(now sim.Time, arg any, size int64) {
+	arg.(*Chan).returnCredits(int(size), now)
 }
 
 // InjectedMessages returns the number of messages offered.

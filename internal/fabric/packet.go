@@ -7,6 +7,10 @@ import (
 // Packet is the unit of transfer in the simulator. Messages larger than
 // the configured maximum packet size are segmented into multiple packets
 // at the source host.
+//
+// Packets are recycled through a per-network free list once delivered:
+// a *Packet passed to OnDeliver is valid only for the duration of the
+// callback and must not be retained.
 type Packet struct {
 	ID    int64
 	MsgID int64 // message this packet belongs to
@@ -27,6 +31,12 @@ type Packet struct {
 
 	// Hops counts switch traversals.
 	Hops int
+
+	// ch is the channel the packet is currently crossing; the arrival
+	// event reads it to know where to return the credit. Keeping it on
+	// the packet lets arrivals be scheduled through pre-bound functions
+	// instead of a fresh closure per hop.
+	ch *Chan
 }
 
 // pktQueue is an allocation-friendly FIFO of packets.

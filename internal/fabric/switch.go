@@ -21,6 +21,7 @@ type Switch struct {
 
 	wakeAt      []sim.Time
 	wakePending []bool
+	wakeFns     []sim.Event // per-port wake closures, bound once
 
 	candBuf []int
 
@@ -30,7 +31,7 @@ type Switch struct {
 }
 
 func newSwitch(n *Network, id, radix int) *Switch {
-	return &Switch{
+	s := &Switch{
 		net:         n,
 		id:          id,
 		out:         make([]*Chan, radix),
@@ -39,8 +40,17 @@ func newSwitch(n *Network, id, radix int) *Switch {
 		closing:     make([]bool, radix),
 		wakeAt:      make([]sim.Time, radix),
 		wakePending: make([]bool, radix),
+		wakeFns:     make([]sim.Event, radix),
 		candBuf:     make([]int, 0, radix),
 	}
+	for p := range s.wakeFns {
+		p := p
+		s.wakeFns[p] = func(now sim.Time) {
+			s.wakePending[p] = false
+			s.pumpOut(p, now)
+		}
+	}
+	return s
 }
 
 // ID returns the switch index.
@@ -152,10 +162,7 @@ func (s *Switch) scheduleWake(port int, at sim.Time) {
 	}
 	s.wakePending[port] = true
 	s.wakeAt[port] = at
-	s.net.E.At(at, func(now sim.Time) {
-		s.wakePending[port] = false
-		s.pumpOut(port, now)
-	})
+	s.net.E.At(at, s.wakeFns[port])
 }
 
 // pumpOut transmits queued packets on a port while the channel and
@@ -225,10 +232,16 @@ type Host struct {
 
 	wakeAt      sim.Time
 	wakePending bool
+	wakeFn      sim.Event // bound once
 }
 
 func newHost(n *Network, id int) *Host {
-	return &Host{net: n, id: id}
+	h := &Host{net: n, id: id}
+	h.wakeFn = func(now sim.Time) {
+		h.wakePending = false
+		h.pump(now)
+	}
+	return h
 }
 
 // ID returns the host index.
@@ -243,10 +256,7 @@ func (h *Host) scheduleWake(at sim.Time) {
 	}
 	h.wakePending = true
 	h.wakeAt = at
-	h.net.E.At(at, func(now sim.Time) {
-		h.wakePending = false
-		h.pump(now)
-	})
+	h.net.E.At(at, h.wakeFn)
 }
 
 // pump injects queued packets while the uplink and credits allow.
@@ -295,6 +305,7 @@ func (h *Host) deliver(pkt *Packet, now sim.Time) {
 			}
 		}
 	}
+	h.net.freePacket(pkt)
 }
 
 // Uplink returns the host's injection channel (for tests and the energy

@@ -1,0 +1,113 @@
+// Package parallel fans independent work items out across a bounded
+// pool of goroutines while keeping results in deterministic input
+// order.
+//
+// It exists for the experiment harness: every simulation run is a
+// self-contained, deterministic unit (its own event engine and seeded
+// RNGs), so an experiment grid is embarrassingly parallel. The helpers
+// here guarantee that the assembled output is identical to a serial
+// loop — only wall-clock time changes.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count request: values < 1 mean "one per
+// CPU", and the count never exceeds the number of items n.
+func Workers(requested, n int) int {
+	w := requested
+	if w < 1 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines (< 1 means one per CPU). It returns the error of the
+// lowest index that failed, or nil. After the first observed failure no
+// new indices are started, but indices already in flight run to
+// completion, so a non-nil return means exactly: fn failed for the
+// returned index and every lower index succeeded.
+//
+// Indices are handed out in order through an atomic counter, so with
+// workers == 1 the execution order is exactly the serial loop's.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		// Run inline: no goroutines to leak, exact serial semantics,
+		// and errors still cancel the remaining indices.
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		errIdx = -1
+		errVal error
+		wg     sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if errIdx == -1 || i < errIdx {
+			errIdx, errVal = i, err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return errVal
+}
+
+// Map runs fn(i) for every i in [0, n) across at most workers
+// goroutines and returns the results in input order. Error semantics
+// follow ForEach: the error of the lowest failing index is returned,
+// and the results slice is nil on error.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

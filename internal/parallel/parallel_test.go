@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	cases := []struct {
+		requested, n, min, max int
+	}{
+		{1, 10, 1, 1},
+		{4, 10, 4, 4},
+		{4, 2, 2, 2},
+		{0, 10, 1, 10},  // one per CPU, capped at n
+		{-1, 10, 1, 10}, // same
+		{8, 0, 1, 1},
+	}
+	for _, c := range cases {
+		got := Workers(c.requested, c.n)
+		if got < c.min || got > c.max {
+			t.Errorf("Workers(%d, %d) = %d, want in [%d, %d]",
+				c.requested, c.n, got, c.min, c.max)
+		}
+	}
+}
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		const n = 100
+		var ran [n]atomic.Int32
+		err := ForEach(n, workers, func(i int) error {
+			ran[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ran {
+			if got := ran[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachLowestError(t *testing.T) {
+	// Indices 30 and 60 fail; the reported error must be index 30's
+	// regardless of worker count or scheduling.
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(100, workers, func(i int) error {
+			if i == 30 || i == 60 {
+				return fmt.Errorf("fail %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail 30" {
+			t.Errorf("workers=%d: err = %v, want fail 30", workers, err)
+		}
+	}
+}
+
+func TestForEachCancelsAfterError(t *testing.T) {
+	// After index 0 fails, far-away indices must not start. Some
+	// in-flight indices may still run, so allow a generous margin but
+	// require that nowhere near all 10000 ran.
+	var started atomic.Int32
+	err := ForEach(10000, 4, func(i int) error {
+		started.Add(1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := started.Load(); n > 5000 {
+		t.Errorf("%d indices started after early error; cancellation not effective", n)
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 0} {
+		out, err := Map(50, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	out, err := Map(10, 4, func(i int) (int, error) {
+		if i == 7 {
+			return 0, errors.New("seven")
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "seven" {
+		t.Fatalf("err = %v, want seven", err)
+	}
+	if out != nil {
+		t.Fatalf("out = %v, want nil on error", out)
+	}
+}

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkScheduleStep measures one full event round-trip — push onto a
+// queue at steady-state depth, then pop and execute the earliest — the
+// engine's hot loop during a simulation.
+func BenchmarkScheduleStep(b *testing.B) {
+	e := New()
+	noop := func(Time) {}
+	const depth = 1024
+	for i := 0; i < depth; i++ {
+		e.At(Time(i), noop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+Time(1+i%997), noop)
+		e.step()
+	}
+}
+
+// BenchmarkSelfScheduling measures throughput of events that reschedule
+// themselves — the pattern of every periodic controller and wake in the
+// fabric. Reported ns/op is per executed event.
+func BenchmarkSelfScheduling(b *testing.B) {
+	e := New()
+	rng := rand.New(rand.NewSource(1))
+	remaining := b.N
+	var tick Event
+	tick = func(Time) {
+		if remaining > 0 {
+			remaining--
+			e.After(Time(1+rng.Intn(500)), tick)
+		}
+	}
+	for i := 0; i < 64 && remaining > 0; i++ {
+		remaining--
+		e.After(Time(1+rng.Intn(500)), tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}

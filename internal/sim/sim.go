@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -54,31 +53,78 @@ func (t Time) String() string {
 // Event is a callback scheduled to run at a point in simulated time.
 type Event func(now Time)
 
+// ArgEvent is a callback that receives scheduling-time arguments. Used
+// with AtArg and a pre-bound function value it lets hot paths schedule
+// events without allocating a closure per event.
+type ArgEvent func(now Time, arg any, n int64)
+
 // item is a scheduled event in the priority queue.
 type item struct {
 	at  Time
 	seq uint64 // tie-break: FIFO for equal timestamps
-	fn  Event
+	fn  ArgEvent
+	arg any
+	n   int64
 }
 
-// eventQueue implements heap.Interface ordered by (at, seq).
+// execEvent adapts a plain Event (carried in arg) to the ArgEvent form.
+func execEvent(now Time, arg any, _ int64) { arg.(Event)(now) }
+
+// eventQueue is a binary min-heap of items ordered by (at, seq). It is
+// hand-rolled rather than built on container/heap so that Push and Pop
+// move item values directly instead of boxing them through interface{} —
+// the engine's hottest path would otherwise allocate on every event.
 type eventQueue []item
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before reports whether a sorts ahead of b.
+func (a item) before(b item) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(item)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+
+// push inserts it and restores the heap invariant (sift-up).
+func (q *eventQueue) push(it item) {
+	*q = append(*q, it)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum item (sift-down).
+func (q *eventQueue) pop() item {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = item{} // release the Event for GC
+	*q = h[:n]
+	h = h[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && h[right].before(h[left]) {
+			child = right
+		}
+		if !h[child].before(h[i]) {
+			break
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+	return top
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
@@ -90,8 +136,19 @@ type Engine struct {
 	stopped   bool
 }
 
+// defaultQueueCap pre-sizes the event queue so steady-state simulations
+// reach their working depth without repeated growth copies.
+const defaultQueueCap = 4096
+
 // New returns a new simulation engine starting at time zero.
-func New() *Engine { return &Engine{} }
+func New() *Engine { return NewWithCapacity(defaultQueueCap) }
+
+// NewWithCapacity returns a new engine whose event queue is pre-sized
+// for n pending events. Use it when the expected queue depth is known
+// (e.g. tiny test engines, or very large fabrics).
+func NewWithCapacity(n int) *Engine {
+	return &Engine{queue: make(eventQueue, 0, n)}
+}
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -110,7 +167,20 @@ func (e *Engine) At(at Time, fn Event) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, item{at: at, seq: e.seq, fn: fn})
+	// A func value is pointer-shaped, so carrying it in arg does not box.
+	e.queue.push(item{at: at, seq: e.seq, fn: execEvent, arg: fn})
+}
+
+// AtArg schedules fn(at, arg, n) at absolute time at. With a pre-bound
+// fn (stored once, not a fresh closure) and a pointer-shaped arg this
+// schedules without allocating, which is what the fabric's per-packet
+// events use. The same past-scheduling rule as At applies.
+func (e *Engine) AtArg(at Time, fn ArgEvent, arg any, n int64) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	e.queue.push(item{at: at, seq: e.seq, fn: fn, arg: arg, n: n})
 }
 
 // After schedules fn to run d after the current time.
@@ -131,10 +201,10 @@ func (e *Engine) step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	it := heap.Pop(&e.queue).(item)
+	it := e.queue.pop()
 	e.now = it.at
 	e.processed++
-	it.fn(e.now)
+	it.fn(e.now, it.arg, it.n)
 	return true
 }
 

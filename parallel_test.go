@@ -1,0 +1,127 @@
+package epnet
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tinyEval is a reduced evaluation scale that keeps the determinism
+// tests fast while still exercising warmup, the EP controller and all
+// three workloads.
+func tinyEval() EvalConfig {
+	return EvalConfig{
+		K: 4, N: 2, C: 4,
+		Warmup:   100 * time.Microsecond,
+		Duration: 400 * time.Microsecond,
+		Seed:     1,
+	}
+}
+
+// TestParallelMatchesSerial is the determinism guarantee behind the
+// -parallel flag: Figure8 (three workloads x three configurations each)
+// must produce deeply equal results whether its grid runs serially or
+// across several workers.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := tinyEval()
+	serial.Parallel = 1
+	want, err := Figure8(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 0} {
+		par := tinyEval()
+		par.Parallel = workers
+		got, err := Figure8(par)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("parallel=%d: results differ from serial\nserial:   %+v\nparallel: %+v",
+				workers, want, got)
+		}
+	}
+}
+
+// TestRunGridMatchesSerialRuns checks the lower-level contract: RunGrid
+// over a mixed grid equals one-at-a-time Run calls, result for result.
+func TestRunGridMatchesSerialRuns(t *testing.T) {
+	e := tinyEval()
+	var cfgs []Config
+	for _, w := range []WorkloadKind{WorkloadUniform, WorkloadSearch} {
+		for _, p := range []PolicyKind{PolicyBaseline, PolicyHalveDouble} {
+			cfg := e.base()
+			cfg.Workload = w
+			cfg.Policy = p
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	want := make([]Result, len(cfgs))
+	for i, cfg := range cfgs {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	got, err := RunGrid(cfgs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("RunGrid results differ from serial Run calls")
+	}
+}
+
+// TestConcurrentEngines runs several complete simulations at once on
+// their own goroutines — under -race this verifies that independent
+// engines share no mutable state.
+func TestConcurrentEngines(t *testing.T) {
+	e := tinyEval()
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	results := make([]Result, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := e.base()
+			cfg.Workload = evalWorkloads[i%len(evalWorkloads)]
+			cfg.Policy = PolicyHalveDouble
+			cfg.Seed = int64(1 + i/len(evalWorkloads)) // repeat configs across goroutines
+			results[i], errs[i] = Run(cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	// Identical configs run on different goroutines must agree exactly.
+	for i := range results {
+		for j := i + 1; j < len(results); j++ {
+			if reflect.DeepEqual(results[i].Config, results[j].Config) &&
+				!reflect.DeepEqual(results[i], results[j]) {
+				t.Errorf("runs %d and %d share a config but disagree", i, j)
+			}
+		}
+	}
+}
+
+// TestRunGridError verifies that an invalid configuration in the middle
+// of a grid surfaces its error (and that the error is the lowest-index
+// failure, independent of scheduling).
+func TestRunGridError(t *testing.T) {
+	e := tinyEval()
+	good := e.base()
+	bad := e.base()
+	bad.K = 0 // fails validation
+	cfgs := []Config{good, bad, good, bad}
+	for _, workers := range []int{1, 4} {
+		if _, err := RunGrid(cfgs, workers); err == nil {
+			t.Errorf("workers=%d: expected error from invalid config", workers)
+		}
+	}
+}

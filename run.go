@@ -9,6 +9,7 @@ import (
 	"epnet/internal/core"
 	"epnet/internal/fabric"
 	"epnet/internal/link"
+	"epnet/internal/parallel"
 	"epnet/internal/power"
 	"epnet/internal/routing"
 	"epnet/internal/sim"
@@ -410,6 +411,19 @@ func Run(cfg Config) (Result, error) {
 	res.PeakQueueBytes = net.PeakQueueBytes()
 	res.PowerTrace = trace
 	return res, nil
+}
+
+// RunGrid executes every configuration across at most workers
+// goroutines (workers < 1 means one per CPU) and returns the results in
+// input order. Each simulation is fully self-contained — its own event
+// engine and seeded RNGs — so the results are identical to running the
+// configurations serially; only wall-clock time changes. On error, the
+// error of the lowest-index failing configuration is returned and no
+// results are.
+func RunGrid(cfgs []Config, workers int) ([]Result, error) {
+	return parallel.Map(len(cfgs), workers, func(i int) (Result, error) {
+		return Run(cfgs[i])
+	})
 }
 
 // RunBaselinePair runs cfg and its always-on baseline twin (identical
