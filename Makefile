@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench fmt experiments
+.PHONY: all build test race vet bench bench-json fmt experiments
 
 all: build test
 
@@ -24,6 +24,11 @@ vet:
 # packet throughput (ns/op, allocs/op), plus the figure regenerators.
 bench:
 	$(GO) test -bench . -benchmem ./internal/sim/ ./internal/fabric/
+
+# Machine-readable benchmark results (JSON Lines on stdout), for
+# regression tracking: make bench-json > bench.jsonl
+bench-json:
+	$(GO) test -bench . -benchmem ./internal/sim/ ./internal/fabric/ ./internal/telemetry/ | $(GO) run ./cmd/benchjson
 
 fmt:
 	gofmt -l -w .

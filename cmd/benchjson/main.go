@@ -1,0 +1,84 @@
+// Command benchjson converts `go test -bench` output on stdin into
+// machine-readable JSON Lines on stdout, one object per benchmark
+// result:
+//
+//	{"name":"BenchmarkNetworkThroughput-8","iterations":860,
+//	 "ns_per_op":1394,"bytes_per_op":0,"allocs_per_op":0}
+//
+// Lines that are not benchmark results (package headers, PASS/ok) are
+// ignored, so the tool composes directly with make:
+//
+//	go test -bench . -benchmem ./... | benchjson > bench.jsonl
+//
+// The JSON stream feeds regression tracking — e.g. asserting that the
+// fabric hot path stays at 0 allocs/op after a change.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// parseLine extracts a Result from one `go test -bench` output line, or
+// returns false for non-benchmark lines.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters}
+	// Remaining fields come in "<value> <unit>" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+		case "MB/s":
+			res.MBPerSec = v
+		case "B/op":
+			res.BytesPerOp = int64(v)
+		case "allocs/op":
+			res.AllocsPerOp = int64(v)
+		}
+	}
+	return res, true
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	enc := json.NewEncoder(os.Stdout)
+	for sc.Scan() {
+		if res, ok := parseLine(sc.Text()); ok {
+			if err := enc.Encode(res); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

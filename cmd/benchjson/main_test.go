@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	res, ok := parseLine("BenchmarkNetworkThroughput-8   860   1394 ns/op   117.45 MB/s   0 B/op   0 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if res.Name != "BenchmarkNetworkThroughput-8" || res.Iterations != 860 {
+		t.Errorf("name/iters = %q/%d", res.Name, res.Iterations)
+	}
+	if res.NsPerOp != 1394 || res.MBPerSec != 117.45 {
+		t.Errorf("ns/op=%v MB/s=%v", res.NsPerOp, res.MBPerSec)
+	}
+	if res.BytesPerOp != 0 || res.AllocsPerOp != 0 {
+		t.Errorf("B/op=%d allocs/op=%d", res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: epnet/internal/fabric",
+		"PASS",
+		"ok  	epnet/internal/fabric	12.3s",
+		"BenchmarkBroken notanumber ns/op",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("non-benchmark line parsed: %q", line)
+		}
+	}
+
+	// A minimal line without -benchmem extras still parses.
+	res, ok = parseLine("BenchmarkEngine 1000000 52.1 ns/op")
+	if !ok || res.NsPerOp != 52.1 || res.Iterations != 1000000 {
+		t.Errorf("minimal line: ok=%v res=%+v", ok, res)
+	}
+}

@@ -44,6 +44,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
 	hist := flag.Bool("hist", false, "print the packet latency histogram")
 	powerTrace := flag.Duration("power-trace", 0, "sample instantaneous power at this interval (0 = off)")
+	metricsOut := flag.String("metrics-out", "", "write the sampled metric time series to this file (CSV, or JSON Lines with a .jsonl extension)")
+	sampleInterval := flag.Duration("sample-interval", 0, "metrics sampling period (default: one epoch)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file (open in chrome://tracing or ui.perfetto.dev)")
 	flag.Parse()
 
 	cfg.Topology = epnet.TopologyKind(*topology)
@@ -64,6 +67,9 @@ func main() {
 	cfg.Seed = *seed
 	cfg.DynTopo = *dyntopo
 	cfg.PowerSampleEvery = *powerTrace
+	cfg.MetricsOut = *metricsOut
+	cfg.SampleInterval = *sampleInterval
+	cfg.TraceOut = *traceOut
 
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "epsim:", err)

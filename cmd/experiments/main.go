@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/metrics"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -36,6 +38,12 @@ func main() {
 	warmup := flag.Duration("warmup", 0, "override warmup")
 	seed := flag.Int64("seed", 1, "random seed")
 	par := flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations per experiment (1 = serial; output is identical either way)")
+	metricsOut := flag.String("metrics-out", "", "per-simulation metric time series base path; each run gets a numeric suffix (telemetry.csv -> telemetry.000.csv)")
+	traceOut := flag.String("trace-out", "", "per-simulation Chrome trace base path, suffixed like -metrics-out")
+	sampleInterval := flag.Duration("sample-interval", 0, "metrics sampling period (default: one epoch)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the harness to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	runtimeMetrics := flag.String("runtime-metrics", "", "dump the Go runtime/metrics snapshot at exit to this file")
 	flag.Parse()
 
 	eval := epnet.DefaultEval()
@@ -50,6 +58,26 @@ func main() {
 	}
 	eval.Seed = *seed
 	eval.Parallel = *par
+	if *metricsOut != "" || *traceOut != "" {
+		eval.Telemetry = &epnet.TelemetryOpts{
+			MetricsOut:     *metricsOut,
+			TraceOut:       *traceOut,
+			SampleInterval: *sampleInterval,
+		}
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+			os.Exit(1)
+		}
+		// Stopped explicitly before exit: os.Exit skips defers.
+	}
 
 	run := func(name string, fn func(epnet.EvalConfig)) {
 		if *only != "" && *only != name {
@@ -85,8 +113,63 @@ func main() {
 	run("serdes", serdes)
 	run("resilience", resilience)
 
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		writeHeapProfile(*memprofile)
+	}
+	if *runtimeMetrics != "" {
+		dumpRuntimeMetrics(*runtimeMetrics)
+	}
 	if errors > 0 {
 		os.Exit(1)
+	}
+}
+
+// writeHeapProfile snapshots the heap (after a GC, so live objects
+// dominate) into path.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fail(err)
+	}
+}
+
+// dumpRuntimeMetrics writes every runtime/metrics sample as one
+// "name value" line; histogram-kinded metrics report their total count.
+func dumpRuntimeMetrics(path string) {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer f.Close()
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			fmt.Fprintf(f, "%s %d\n", s.Name, s.Value.Uint64())
+		case metrics.KindFloat64:
+			fmt.Fprintf(f, "%s %g\n", s.Name, s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			var total uint64
+			for _, c := range s.Value.Float64Histogram().Counts {
+				total += c
+			}
+			fmt.Fprintf(f, "%s histogram-count %d\n", s.Name, total)
+		}
 	}
 }
 

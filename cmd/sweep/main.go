@@ -41,6 +41,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	out := flag.String("o", "", "output CSV file (default stdout)")
 	par := flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations (1 = serial; output is identical either way)")
+	metricsOut := flag.String("metrics-out", "", "per-run metric time series base path; each row gets a numeric suffix (telemetry.csv -> telemetry.000.csv)")
+	traceOut := flag.String("trace-out", "", "per-run Chrome trace base path, suffixed like -metrics-out")
+	sampleInterval := flag.Duration("sample-interval", 0, "metrics sampling period (default: one epoch)")
 	flag.Parse()
 
 	if *values == "" {
@@ -115,6 +118,15 @@ func main() {
 		raws = append(raws, raw)
 		cfgs = append(cfgs, cfg)
 	}
+
+	// Telemetry paths are assigned in row order before the fan-out, so
+	// -parallel runs write identical files and the CSV stays untouched.
+	telem := &epnet.TelemetryOpts{
+		MetricsOut:     *metricsOut,
+		TraceOut:       *traceOut,
+		SampleInterval: *sampleInterval,
+	}
+	telem.Apply(cfgs)
 
 	results, err := epnet.RunGrid(cfgs, *par)
 	if err != nil {

@@ -173,6 +173,24 @@ type Config struct {
 	// of the network's power tracking its load.
 	PowerSampleEvery time.Duration
 
+	// MetricsOut, when non-empty, writes a sampled time series of every
+	// registered telemetry metric (link rates and states, switch queue
+	// depths, delivery counters, instantaneous power, controller and
+	// routing state) to this path at the end of the run — CSV by
+	// default, JSON Lines when the path ends in ".jsonl".
+	// SampleInterval is the sampling period; it defaults to Epoch, so
+	// the series resolves per-epoch link rate changes.
+	MetricsOut     string
+	SampleInterval time.Duration
+
+	// TraceOut, when non-empty, streams a Chrome trace_event JSON file
+	// to this path: packet lifetime spans (inject -> deliver) and link
+	// reconfiguration spans (CDR re-lock vs lane retraining), loadable
+	// in chrome://tracing or https://ui.perfetto.dev. When unset — the
+	// default — the packet path carries no tracing work beyond one nil
+	// check.
+	TraceOut string
+
 	// FailLinks, when positive, abruptly powers off this many randomly
 	// chosen inter-switch link pairs FailAfter into the measurement
 	// window (no drain — the failure case of §1's failure-domain
@@ -294,6 +312,12 @@ func (c *Config) Validate() error {
 	}
 	if c.Epoch <= c.Reactivation {
 		return fmt.Errorf("epnet: epoch %v must exceed reactivation %v", c.Epoch, c.Reactivation)
+	}
+	if c.SampleInterval < 0 {
+		return fmt.Errorf("epnet: negative sample interval")
+	}
+	if c.MetricsOut != "" && c.SampleInterval == 0 {
+		c.SampleInterval = c.Epoch
 	}
 	if c.Duration <= 0 {
 		return fmt.Errorf("epnet: duration must be positive")

@@ -2,6 +2,8 @@ package epnet
 
 import (
 	"fmt"
+	"path/filepath"
+	"strings"
 	"time"
 )
 
@@ -22,6 +24,50 @@ type EvalConfig struct {
 	// forces serial execution. Results are identical either way — see
 	// RunGrid.
 	Parallel int
+
+	// Telemetry, when non-nil, gives every simulation its own metrics
+	// and trace files (see Config.MetricsOut / TraceOut): each base
+	// path gets a run-sequence suffix before its extension, e.g.
+	// "telemetry.csv" -> "telemetry.007.csv". Suffixes are assigned in
+	// configuration order before the runs fan out, so -parallel
+	// execution writes byte-identical files and stdout is untouched.
+	Telemetry *TelemetryOpts
+}
+
+// TelemetryOpts configures per-run telemetry for an experiment harness.
+// The same pointer threads through every grid of an evaluation, so the
+// run sequence numbers all its simulations consecutively.
+type TelemetryOpts struct {
+	MetricsOut     string // base path for sampled time series ("" = off)
+	TraceOut       string // base path for Chrome trace files ("" = off)
+	SampleInterval time.Duration
+
+	seq int // simulations numbered so far
+}
+
+// numberedPath inserts a zero-padded sequence before path's extension.
+func numberedPath(path string, n int) string {
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.%03d%s", strings.TrimSuffix(path, ext), n, ext)
+}
+
+// Apply stamps per-run output paths onto each configuration, in order.
+// It is a no-op on a nil receiver or when both base paths are empty.
+func (t *TelemetryOpts) Apply(cfgs []Config) {
+	if t == nil || (t.MetricsOut == "" && t.TraceOut == "") {
+		return
+	}
+	for i := range cfgs {
+		n := t.seq
+		t.seq++
+		cfgs[i].SampleInterval = t.SampleInterval
+		if t.MetricsOut != "" {
+			cfgs[i].MetricsOut = numberedPath(t.MetricsOut, n)
+		}
+		if t.TraceOut != "" {
+			cfgs[i].TraceOut = numberedPath(t.TraceOut, n)
+		}
+	}
 }
 
 // DefaultEval returns the fast evaluation scale: an 8-ary 2-flat
@@ -47,6 +93,7 @@ func (e EvalConfig) base() Config {
 // grid runs a set of independent configurations with the evaluation's
 // configured parallelism, results in input order.
 func (e EvalConfig) grid(cfgs []Config) ([]Result, error) {
+	e.Telemetry.Apply(cfgs)
 	return RunGrid(cfgs, e.Parallel)
 }
 

@@ -6,6 +6,7 @@ import (
 	"epnet/internal/fabric"
 	"epnet/internal/link"
 	"epnet/internal/sim"
+	"epnet/internal/telemetry"
 	"epnet/internal/topo"
 )
 
@@ -50,7 +51,42 @@ type Controller struct {
 	// Reconfigurations counts rate changes applied, for reports.
 	Reconfigurations int64
 
+	// Tracer, when set, receives one span per rate change on the
+	// telemetry.PIDLinks track (thread = channel index): the span
+	// covers the reactivation window, so a trace shows exactly when
+	// each link was dark re-locking its CDR or retraining lanes.
+	Tracer *telemetry.Tracer
+
 	started bool
+}
+
+// RegisterMetrics exposes the controller's counters to a telemetry
+// registry.
+func (c *Controller) RegisterMetrics(reg *telemetry.Registry) error {
+	return reg.GaugeFunc("ctrl.reconfigs",
+		func() float64 { return float64(c.Reconfigurations) })
+}
+
+// traceRetune emits the rate-change span for one channel. The category
+// distinguishes a digital CDR re-lock from full lane retraining when
+// the mode-aware model is active.
+func (c *Controller) traceRetune(ch *fabric.Chan, from, to link.Rate, now, react sim.Time) {
+	cat := "retune"
+	if c.ModeAware {
+		fm, ok1 := link.ModeFor(from, c.Modes)
+		tm, ok2 := link.ModeFor(to, c.Modes)
+		if ok1 && ok2 {
+			if fm.Lanes == tm.Lanes {
+				cat = "cdr-relock"
+			} else {
+				cat = "lane-retrain"
+			}
+		}
+	}
+	c.Tracer.Complete(fmt.Sprintf("%v->%v", from, to), cat,
+		telemetry.PIDLinks, ch.Index(), now, react,
+		fmt.Sprintf(`"from_gbps":%g,"to_gbps":%g,"react_ns":%g`,
+			from.GbpsF(), to.GbpsF(), react.Nanoseconds()))
 }
 
 // DefaultController returns the paper's evaluation configuration: the
@@ -154,6 +190,10 @@ func (c *Controller) tick(now sim.Time) {
 			next := c.Policy.Decide(s, a.Ladder())
 			if next != a.Rate() {
 				react := c.reactivationFor(a.Rate(), next)
+				if c.Tracer != nil {
+					c.traceRetune(pair[0], a.Rate(), next, now, react)
+					c.traceRetune(pair[1], b.Rate(), next, now, react)
+				}
 				a.SetRate(now, next, react)
 				b.SetRate(now, next, react)
 				c.Reconfigurations += 2
@@ -172,7 +212,11 @@ func (c *Controller) tick(now sim.Time) {
 			}
 			next := c.Policy.Decide(c.signalsFor(ch, now), l.Ladder())
 			if next != l.Rate() {
-				l.SetRate(now, next, c.reactivationFor(l.Rate(), next))
+				react := c.reactivationFor(l.Rate(), next)
+				if c.Tracer != nil {
+					c.traceRetune(ch, l.Rate(), next, now, react)
+				}
+				l.SetRate(now, next, react)
 				c.Reconfigurations++
 			}
 			l.ResetEpoch(now)

@@ -19,6 +19,7 @@ import (
 	"epnet/internal/link"
 	"epnet/internal/routing"
 	"epnet/internal/sim"
+	"epnet/internal/telemetry"
 	"epnet/internal/topo"
 )
 
@@ -92,6 +93,7 @@ type Chan struct {
 	credits int64 // available downstream input-buffer bytes
 	waiting bool  // the sender is blocked awaiting credits
 	net     *Network
+	idx     int // position in Network.chans; trace thread id
 }
 
 // takeCredits consumes n credits if available.
@@ -115,6 +117,11 @@ func (c *Chan) returnCredits(n int, now sim.Time) {
 // Credits returns the available credits (tests and diagnostics).
 func (c *Chan) Credits() int64 { return c.credits }
 
+// Index returns the channel's position in Network.Channels(). It is
+// stable for the network's lifetime and doubles as the channel's trace
+// thread id.
+func (c *Chan) Index() int { return c.idx }
+
 // Network is a simulated network instance bound to an event engine.
 type Network struct {
 	E   *sim.Engine
@@ -132,6 +139,12 @@ type Network struct {
 
 	// OnDeliver, when set, observes every delivered packet.
 	OnDeliver func(p *Packet, now sim.Time)
+
+	// Tracer, when set, receives packet-lifetime spans (inject ->
+	// deliver, on the telemetry.PIDPackets track) and injection
+	// instants. Nil — the default — keeps the per-packet path free of
+	// everything but one pointer test.
+	Tracer *telemetry.Tracer
 
 	// OnMessageDone, when set before any injection, observes every
 	// completed message (all of its packets delivered).
@@ -232,6 +245,7 @@ func (n *Network) newChan(src, dst topo.Endpoint, credits int64) *Chan {
 		Dst:     dst,
 		credits: credits,
 		net:     n,
+		idx:     len(n.chans),
 	}
 	n.chans = append(n.chans, c)
 	return c
@@ -277,6 +291,10 @@ func (n *Network) InjectMessage(src, dst, size int) {
 	h := n.Hosts[src]
 	n.nextMsgID++
 	n.injectedMsgs++
+	if n.Tracer != nil {
+		n.Tracer.Instant("inject", "traffic", telemetry.PIDPackets, src, now,
+			fmt.Sprintf(`"msg":%d,"dst":%d,"bytes":%d`, n.nextMsgID, dst, size))
+	}
 	if n.OnMessageDone != nil {
 		if n.msgRemaining == nil {
 			n.msgRemaining = make(map[int64]int)

@@ -5,6 +5,7 @@ import (
 
 	"epnet/internal/link"
 	"epnet/internal/sim"
+	"epnet/internal/telemetry"
 )
 
 // Switch is an input/output-buffered crossbar switch. Input buffering is
@@ -289,6 +290,11 @@ func (h *Host) deliver(pkt *Packet, now sim.Time) {
 	}
 	h.net.deliveredPkts++
 	h.net.deliveredBytes += int64(pkt.Size)
+	if h.net.Tracer != nil {
+		h.net.Tracer.AsyncSpan("pkt", "packet", telemetry.PIDPackets, pkt.ID,
+			pkt.Inject, now, fmt.Sprintf(`"src":%d,"dst":%d,"bytes":%d,"hops":%d`,
+				pkt.Src, pkt.Dst, pkt.Size, pkt.Hops))
+	}
 	if h.net.OnDeliver != nil {
 		h.net.OnDeliver(pkt, now)
 	}

@@ -1,0 +1,103 @@
+package fabric
+
+import (
+	"fmt"
+
+	"epnet/internal/telemetry"
+	"epnet/internal/topo"
+)
+
+// endpointLabel renders an endpoint compactly for metric names, which
+// use dots as hierarchy separators: host 3 -> "h3", switch 0 port 2 ->
+// "s0p2".
+func endpointLabel(e topo.Endpoint) string {
+	if e.Kind == topo.KindHost {
+		return fmt.Sprintf("h%d", e.ID)
+	}
+	return fmt.Sprintf("s%dp%d", e.ID, e.Port)
+}
+
+// MetricName returns the channel's stable hierarchical metric prefix,
+// e.g. "link.s0p1-s1p0".
+func (c *Chan) MetricName() string {
+	return fmt.Sprintf("link.%s-%s", endpointLabel(c.Src), endpointLabel(c.Dst))
+}
+
+// RegisterMetrics registers the fabric's observable state with a
+// telemetry registry under stable hierarchical names:
+//
+//	net.injected_pkts / delivered_pkts / injected_mbytes /
+//	net.delivered_mbytes / backlog_bytes / inflight_pkts
+//	switch.<id>.routed_pkts, switch.<id>.queue_bytes
+//	switch.<id>.p<port>.queue_bytes        (inter-switch ports)
+//	link.<src>-<dst>.rate_gbps / state / total_mbytes  (inter-switch)
+//
+// Everything is exposed through closures over existing counters and
+// accessors, so registration does not add a single instruction to the
+// packet path. Host-attachment channels are aggregated into the net.*
+// series rather than getting per-link columns, keeping the sampled
+// width proportional to the switch fabric.
+func (n *Network) RegisterMetrics(reg *telemetry.Registry) error {
+	netGauges := map[string]func() float64{
+		"net.injected_pkts":    func() float64 { p, _ := n.Injected(); return float64(p) },
+		"net.delivered_pkts":   func() float64 { p, _ := n.Delivered(); return float64(p) },
+		"net.injected_mbytes":  func() float64 { _, b := n.Injected(); return float64(b) / 1e6 },
+		"net.delivered_mbytes": func() float64 { _, b := n.Delivered(); return float64(b) / 1e6 },
+		"net.backlog_bytes":    func() float64 { return float64(n.HostBacklogBytes()) },
+		"net.inflight_pkts":    func() float64 { return float64(n.InFlightPackets()) },
+	}
+	// Maps iterate in random order; register deterministically.
+	for _, name := range []string{
+		"net.injected_pkts", "net.delivered_pkts", "net.injected_mbytes",
+		"net.delivered_mbytes", "net.backlog_bytes", "net.inflight_pkts",
+	} {
+		if err := reg.GaugeFunc(name, netGauges[name]); err != nil {
+			return err
+		}
+	}
+	for i, s := range n.Switches {
+		s := s
+		if err := reg.GaugeFunc(fmt.Sprintf("switch.%d.routed_pkts", i),
+			func() float64 { return float64(s.RoutedPackets()) }); err != nil {
+			return err
+		}
+		if err := reg.GaugeFunc(fmt.Sprintf("switch.%d.queue_bytes", i),
+			func() float64 {
+				var total int64
+				for p := range s.queuedBytes {
+					total += s.queuedBytes[p]
+				}
+				return float64(total)
+			}); err != nil {
+			return err
+		}
+		for p := range s.out {
+			ch := s.out[p]
+			if ch == nil || ch.Dst.Kind != topo.KindSwitch {
+				continue
+			}
+			p := p
+			if err := reg.GaugeFunc(fmt.Sprintf("switch.%d.p%d.queue_bytes", i, p),
+				func() float64 { return float64(s.QueueBytes(p)) }); err != nil {
+				return err
+			}
+		}
+	}
+	for _, ch := range n.InterSwitchChannels() {
+		ch := ch
+		prefix := ch.MetricName()
+		if err := reg.GaugeFunc(prefix+".rate_gbps",
+			func() float64 { return ch.L.Rate().GbpsF() }); err != nil {
+			return err
+		}
+		if err := reg.GaugeFunc(prefix+".state",
+			func() float64 { return float64(ch.L.State(n.E.Now())) }); err != nil {
+			return err
+		}
+		if err := reg.GaugeFunc(prefix+".total_mbytes",
+			func() float64 { return float64(ch.L.TotalBytes()) / 1e6 }); err != nil {
+			return err
+		}
+	}
+	return nil
+}

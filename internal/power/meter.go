@@ -1,0 +1,47 @@
+package power
+
+import (
+	"epnet/internal/link"
+	"epnet/internal/sim"
+	"epnet/internal/telemetry"
+)
+
+// Meter reads the instantaneous normalized power of a set of channels
+// under one profile: the mean over channels of Relative(configured
+// rate), with powered-off channels at Off(). This is the spot value
+// whose time-weighted integral OccupancyPower reports at the end of a
+// run, exposed live so a sampled series shows power tracking load.
+type Meter struct {
+	profile Profile
+	chans   []*link.Channel
+}
+
+// NewMeter builds a meter over chans using profile p.
+func NewMeter(p Profile, chans []*link.Channel) *Meter {
+	return &Meter{profile: p, chans: chans}
+}
+
+// Relative returns the instantaneous mean normalized power at time now.
+func (m *Meter) Relative(now sim.Time) float64 {
+	if len(m.chans) == 0 {
+		return 0
+	}
+	var acc float64
+	for _, c := range m.chans {
+		if c.State(now) == link.Off {
+			acc += m.profile.Off()
+		} else {
+			acc += m.profile.Relative(c.Rate())
+		}
+	}
+	return acc / float64(len(m.chans))
+}
+
+// RegisterMetrics registers the meter as a gauge named
+// "power.<profile name>" whose value is Relative at the sampling
+// instant; now supplies the current simulation time (normally
+// Engine.Now).
+func (m *Meter) RegisterMetrics(reg *telemetry.Registry, now func() sim.Time) error {
+	return reg.GaugeFunc("power."+m.profile.Name(),
+		func() float64 { return m.Relative(now()) })
+}

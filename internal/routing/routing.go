@@ -7,6 +7,7 @@ package routing
 import (
 	"fmt"
 
+	"epnet/internal/telemetry"
 	"epnet/internal/topo"
 )
 
@@ -95,6 +96,25 @@ func (r *FBFLY) Dead(sw, port int) bool {
 		return false
 	}
 	return r.dead[sw*r.F.Radix()+port]
+}
+
+// RegisterMetrics exposes the router's mutable state — failed ports
+// and per-dimension topology modes — to a telemetry registry, so a
+// sampled time series shows when failures land and when the dynamic
+// topology controller degrades or restores a dimension.
+func (r *FBFLY) RegisterMetrics(reg *telemetry.Registry) error {
+	if err := reg.GaugeFunc("routing.dead_ports",
+		func() float64 { return float64(len(r.dead)) }); err != nil {
+		return err
+	}
+	for d := 0; d < r.F.D; d++ {
+		d := d
+		if err := reg.GaugeFunc(fmt.Sprintf("routing.dim.%d.mode", d),
+			func() float64 { return float64(r.Mode(d)) }); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Mode returns dimension d's mode.

@@ -33,18 +33,36 @@ func NewLatency() *Latency {
 	return &Latency{min: math.MaxInt64, buckets: make(map[int]int64)}
 }
 
+// underflowBucket holds zero and negative samples. It sorts below every
+// real bucket key, so cumulative walks count those samples before any
+// positive-duration bucket.
+const underflowBucket = math.MinInt32
+
 func bucketOf(d sim.Time) int {
 	if d <= 0 {
-		return math.MinInt32
+		return underflowBucket
 	}
 	return int(math.Floor(math.Log2(float64(d)) * bucketsPerOctave))
 }
 
 func bucketUpper(b int) sim.Time {
-	if b == math.MinInt32 {
+	if b == underflowBucket {
 		return 0
 	}
 	return sim.Time(math.Exp2(float64(b+1) / bucketsPerOctave))
+}
+
+// sortedKeys returns the occupied bucket keys in ascending order (the
+// underflow bucket first). Percentile and Buckets share this walk so
+// both present the histogram in the same deterministic order regardless
+// of map iteration.
+func (l *Latency) sortedKeys() []int {
+	keys := make([]int, 0, len(l.buckets))
+	for k := range l.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // Add records one sample.
@@ -97,13 +115,8 @@ func (l *Latency) Percentile(p float64) sim.Time {
 		return l.max
 	}
 	target := int64(math.Ceil(float64(l.count) * p / 100))
-	keys := make([]int, 0, len(l.buckets))
-	for k := range l.buckets {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
 	var cum int64
-	for _, k := range keys {
+	for _, k := range l.sortedKeys() {
 		cum += l.buckets[k]
 		if cum >= target {
 			u := bucketUpper(k)
@@ -129,11 +142,7 @@ type Bucket struct {
 // Buckets returns the histogram cells in ascending order of bound,
 // suitable for CDF reporting.
 func (l *Latency) Buckets() []Bucket {
-	keys := make([]int, 0, len(l.buckets))
-	for k := range l.buckets {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
+	keys := l.sortedKeys()
 	out := make([]Bucket, 0, len(keys))
 	for _, k := range keys {
 		u := bucketUpper(k)

@@ -61,6 +61,58 @@ func TestLatencyZeroSample(t *testing.T) {
 	}
 }
 
+// Zero- and negative-duration samples share an underflow bucket that
+// sorts below every positive one, so percentile walks and the CDF stay
+// deterministic and monotone when a run records them (e.g. a packet
+// delivered in the same event-time instant it was injected).
+func TestLatencyZeroAndNegativeDurations(t *testing.T) {
+	l := NewLatency()
+	for i := 0; i < 5; i++ {
+		l.Add(0)
+	}
+	l.Add(-3 * sim.Nanosecond)
+	for i := 0; i < 4; i++ {
+		l.Add(sim.Microsecond)
+	}
+	if l.Count() != 10 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+	if l.Min() != -3*sim.Nanosecond || l.Max() != sim.Microsecond {
+		t.Errorf("Min/Max = %v/%v", l.Min(), l.Max())
+	}
+	// 6 of 10 samples are <= 0, so the median falls in the underflow
+	// bucket (bound 0); high percentiles see the real samples.
+	if got := l.Percentile(50); got != 0 {
+		t.Errorf("p50 = %v, want 0", got)
+	}
+	if got := l.Percentile(99); got != sim.Microsecond {
+		t.Errorf("p99 = %v, want 1us", got)
+	}
+	if got := l.Percentile(0); got != -3*sim.Nanosecond {
+		t.Errorf("p0 = %v, want -3ns", got)
+	}
+	bs := l.Buckets()
+	if len(bs) != 2 {
+		t.Fatalf("buckets = %d, want 2 (underflow + 1us)", len(bs))
+	}
+	if bs[0].Upper != 0 || bs[0].Count != 6 {
+		t.Errorf("underflow bucket = {%v, %d}, want {0, 6}", bs[0].Upper, bs[0].Count)
+	}
+	if bs[1].Upper != sim.Microsecond || bs[1].Count != 4 {
+		t.Errorf("top bucket = {%v, %d}, want {1us, 4}", bs[1].Upper, bs[1].Count)
+	}
+	// The walk order comes from sorted keys, not map iteration: repeated
+	// reads are identical.
+	for i := 0; i < 10; i++ {
+		again := l.Buckets()
+		for j := range bs {
+			if again[j] != bs[j] {
+				t.Fatalf("Buckets() not deterministic: %v vs %v", again, bs)
+			}
+		}
+	}
+}
+
 func TestLatencyMerge(t *testing.T) {
 	a, b := NewLatency(), NewLatency()
 	for i := 1; i <= 10; i++ {

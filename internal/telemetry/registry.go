@@ -1,0 +1,156 @@
+// Package telemetry is the simulator's observability substrate: a
+// metrics registry components register named counters and gauges into,
+// a periodic sampler that snapshots those metrics into an in-memory
+// time series (streamed out as CSV or JSONL), and an event tracer
+// emitting Chrome trace_event JSON for inspection in chrome://tracing
+// or Perfetto.
+//
+// The design constraint throughout is that the instrumented hot path
+// pays nothing when telemetry is disabled: counters and gauges are
+// nil-safe (a nil *Counter's Inc is a branch and a return), metric
+// reads happen only when the sampler fires, and trace emission sits
+// behind a single nil check at each instrumentation point. Increments
+// and sets never allocate (see BenchmarkCounterInc and the
+// zero-allocation test).
+//
+// Metric names are stable and hierarchical, dot-separated from coarse
+// to fine: "net.delivered_pkts", "switch.3.p2.queue_bytes",
+// "link.s0p1-s1p0.rate_gbps". Registering the same name twice is an
+// error — collisions indicate two components fighting over one series.
+package telemetry
+
+import (
+	"fmt"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready to use; a nil Counter is safe to increment (and stays zero),
+// so instrumented code can hold a nil pointer when telemetry is off.
+type Counter struct {
+	v int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a set-to-current-value metric. Like Counter, a nil Gauge
+// accepts Set calls and reads as zero.
+type Gauge struct {
+	v float64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Value returns the last value set.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// entry is one registered metric: a stable name plus a read function
+// evaluated at sampling time.
+type entry struct {
+	name string
+	read func() float64
+}
+
+// Registry holds named metrics in registration order. It is not safe
+// for concurrent use: like the simulation engine it serves, it is
+// single-threaded by design (each engine owns its own registry).
+type Registry struct {
+	names   map[string]bool
+	entries []entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// register validates the name and appends the metric.
+func (r *Registry) register(name string, read func() float64) error {
+	if name == "" {
+		return fmt.Errorf("telemetry: empty metric name")
+	}
+	if r.names[name] {
+		return fmt.Errorf("telemetry: metric %q already registered", name)
+	}
+	r.names[name] = true
+	r.entries = append(r.entries, entry{name: name, read: read})
+	return nil
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name string) (*Counter, error) {
+	c := &Counter{}
+	if err := r.register(name, func() float64 { return float64(c.v) }); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Gauge registers and returns a new settable gauge.
+func (r *Registry) Gauge(name string) (*Gauge, error) {
+	g := &Gauge{}
+	if err := r.register(name, func() float64 { return g.v }); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at each
+// sample — the usual form for exposing existing component state (queue
+// depths, link rates) without touching the component's hot path.
+func (r *Registry) GaugeFunc(name string, fn func() float64) error {
+	return r.register(name, fn)
+}
+
+// Len returns the number of registered metrics.
+func (r *Registry) Len() int { return len(r.entries) }
+
+// Names returns the metric names in registration order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = e.name
+	}
+	return out
+}
+
+// ReadInto evaluates every metric into dst (which must have length
+// Len()), in registration order. It reuses dst so steady-state sampling
+// does not allocate per metric.
+func (r *Registry) ReadInto(dst []float64) {
+	for i, e := range r.entries {
+		dst[i] = e.read()
+	}
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"epnet/internal/sim"
+)
+
+// Sampler periodically snapshots a registry's metrics into an
+// in-memory time series. It is driven by the simulation engine: Start
+// schedules a self-rescheduling tick every interval up to a horizon,
+// and Finish takes one final sample covering the partial last interval
+// when the simulation ends off the tick grid.
+type Sampler struct {
+	reg      *Registry
+	interval sim.Time
+
+	names  []string
+	times  []sim.Time
+	rows   [][]float64
+	lastAt sim.Time
+	tick   sim.Event
+}
+
+// NewSampler returns a sampler reading reg every interval.
+func NewSampler(reg *Registry, interval sim.Time) (*Sampler, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("telemetry: sample interval must be positive, got %v", interval)
+	}
+	return &Sampler{reg: reg, interval: interval}, nil
+}
+
+// Start locks in the registry's current metric set (metrics registered
+// later are not sampled), takes an immediate baseline sample, and
+// schedules ticks every interval while the next tick is <= until.
+func (s *Sampler) Start(e *sim.Engine, until sim.Time) {
+	s.names = s.reg.Names()
+	s.sample(e.Now())
+	s.tick = func(now sim.Time) {
+		s.sample(now)
+		if next := now + s.interval; next <= until {
+			e.At(next, s.tick)
+		}
+	}
+	if next := e.Now() + s.interval; next <= until {
+		e.At(next, s.tick)
+	}
+}
+
+// Finish takes a final sample at now unless a tick already sampled
+// that instant — the partial-last-interval case: a horizon that is not
+// a multiple of the interval still gets an end-of-run data point.
+func (s *Sampler) Finish(now sim.Time) {
+	if len(s.times) > 0 && s.lastAt == now {
+		return
+	}
+	s.sample(now)
+}
+
+// sample appends one row of metric values at time now.
+func (s *Sampler) sample(now sim.Time) {
+	row := make([]float64, len(s.names))
+	s.reg.ReadInto(row)
+	s.times = append(s.times, now)
+	s.rows = append(s.rows, row)
+	s.lastAt = now
+}
+
+// Samples returns the number of rows collected.
+func (s *Sampler) Samples() int { return len(s.rows) }
+
+// Times returns the sample timestamps.
+func (s *Sampler) Times() []sim.Time { return s.times }
+
+// Names returns the sampled metric names (fixed at Start).
+func (s *Sampler) Names() []string { return s.names }
+
+// Row returns the i-th sample's values, ordered like Names.
+func (s *Sampler) Row(i int) []float64 { return s.rows[i] }
+
+// fmtValue renders a metric value compactly and losslessly.
+func fmtValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteCSV streams the series as CSV: a header of t_us followed by the
+// metric names, then one row per sample with time in microseconds.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("t_us")
+	for _, n := range s.names {
+		bw.WriteByte(',')
+		bw.WriteString(n)
+	}
+	bw.WriteByte('\n')
+	for i, t := range s.times {
+		bw.WriteString(strconv.FormatFloat(t.Microseconds(), 'f', -1, 64))
+		for _, v := range s.rows[i] {
+			bw.WriteByte(',')
+			bw.WriteString(fmtValue(v))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL streams the series as JSON Lines: one object per sample,
+// {"t_us": <time>, "metrics": {<name>: <value>, ...}}, with metrics in
+// registration order (names never need escaping beyond %q).
+func (s *Sampler) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i, t := range s.times {
+		fmt.Fprintf(bw, `{"t_us":%s,"metrics":{`, strconv.FormatFloat(t.Microseconds(), 'f', -1, 64))
+		for j, n := range s.names {
+			if j > 0 {
+				bw.WriteByte(',')
+			}
+			fmt.Fprintf(bw, "%q:%s", n, fmtValue(s.rows[i][j]))
+		}
+		bw.WriteString("}}\n")
+	}
+	return bw.Flush()
+}

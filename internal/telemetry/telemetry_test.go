@@ -1,0 +1,286 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"epnet/internal/sim"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	c, err := r.Counter("net.pkts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := r.Gauge("net.backlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.GaugeFunc("net.twice", func() float64 { return 2 * g.Value() }); err != nil {
+		t.Fatal(err)
+	}
+	c.Inc()
+	c.Add(4)
+	g.Set(3.5)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	want := []string{"net.pkts", "net.backlog", "net.twice"}
+	if got := r.Names(); len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("Names = %v, want %v", got, want)
+	}
+	vals := make([]float64, r.Len())
+	r.ReadInto(vals)
+	if vals[0] != 5 || vals[1] != 3.5 || vals[2] != 7 {
+		t.Errorf("ReadInto = %v", vals)
+	}
+}
+
+func TestRegistryCollisionRejected(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Counter("link.0.rate"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Counter("link.0.rate"); err == nil {
+		t.Error("duplicate counter name accepted")
+	}
+	if _, err := r.Gauge("link.0.rate"); err == nil {
+		t.Error("gauge colliding with counter accepted")
+	}
+	if err := r.GaugeFunc("link.0.rate", func() float64 { return 0 }); err == nil {
+		t.Error("gauge func colliding with counter accepted")
+	}
+	if _, err := r.Counter(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if r.Len() != 1 {
+		t.Errorf("failed registrations mutated the registry: Len = %d", r.Len())
+	}
+}
+
+func TestNilMetricsSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	c.Inc()
+	c.Add(7)
+	g.Set(1)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Error("nil metrics should read zero")
+	}
+}
+
+// TestZeroAllocIncrements asserts the hot-path operations allocate
+// nothing — the property that lets instrumentation stay enabled in
+// per-packet code.
+func TestZeroAllocIncrements(t *testing.T) {
+	r := NewRegistry()
+	c, _ := r.Counter("c")
+	g, _ := r.Gauge("g")
+	var nilC *Counter
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(4.2)
+		nilC.Inc()
+	}); n != 0 {
+		t.Errorf("hot-path metric ops allocate %v allocs/op, want 0", n)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c, _ := r.Counter("bench.counter")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	r := NewRegistry()
+	g, _ := r.Gauge("bench.gauge")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+// TestSamplerPartialLastInterval drives a sampler through a horizon
+// that is not a multiple of the interval: ticks land on the grid and
+// Finish adds the partial final sample exactly once.
+func TestSamplerPartialLastInterval(t *testing.T) {
+	e := sim.New()
+	r := NewRegistry()
+	if err := r.GaugeFunc("sim.now_us", func() float64 { return e.Now().Microseconds() }); err != nil {
+		t.Fatal(err)
+	}
+	const interval = 10 * sim.Microsecond
+	const horizon = 25 * sim.Microsecond
+	s, err := NewSampler(r, interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start(e, horizon)
+	e.RunUntil(horizon)
+	s.Finish(e.Now())
+
+	want := []sim.Time{0, 10 * sim.Microsecond, 20 * sim.Microsecond, horizon}
+	times := s.Times()
+	if len(times) != len(want) {
+		t.Fatalf("samples = %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("sample %d at %v, want %v", i, times[i], want[i])
+		}
+		if got := s.Row(i)[0]; got != want[i].Microseconds() {
+			t.Errorf("sample %d value %v, want %v", i, got, want[i].Microseconds())
+		}
+	}
+	// Finish on a horizon that coincides with the last tick must not
+	// produce a duplicate row.
+	before := s.Samples()
+	s.Finish(horizon)
+	if s.Samples() != before {
+		t.Error("Finish duplicated the final sample")
+	}
+}
+
+func TestSamplerRejectsBadInterval(t *testing.T) {
+	if _, err := NewSampler(NewRegistry(), 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := NewSampler(NewRegistry(), -sim.Microsecond); err == nil {
+		t.Error("negative interval accepted")
+	}
+}
+
+func TestSamplerCSVAndJSONL(t *testing.T) {
+	e := sim.New()
+	r := NewRegistry()
+	c, _ := r.Counter("net.pkts")
+	s, err := NewSampler(r, 5*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start(e, 10*sim.Microsecond)
+	c.Add(3)
+	e.RunUntil(10 * sim.Microsecond)
+	s.Finish(e.Now())
+
+	var csv bytes.Buffer
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 4 { // header + t=0,5,10us
+		t.Fatalf("CSV lines = %d:\n%s", len(lines), csv.String())
+	}
+	if lines[0] != "t_us,net.pkts" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if lines[1] != "0,0" || lines[2] != "5,3" || lines[3] != "10,3" {
+		t.Errorf("CSV rows = %q", lines[1:])
+	}
+
+	var jl bytes.Buffer
+	if err := s.WriteJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	jlines := strings.Split(strings.TrimSpace(jl.String()), "\n")
+	if len(jlines) != 3 {
+		t.Fatalf("JSONL lines = %d", len(jlines))
+	}
+	// Every line is a standalone JSON object.
+	for i, line := range jlines {
+		var obj struct {
+			TUs     float64            `json:"t_us"`
+			Metrics map[string]float64 `json:"metrics"`
+		}
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if _, ok := obj.Metrics["net.pkts"]; !ok {
+			t.Errorf("line %d missing metric: %s", i, line)
+		}
+	}
+}
+
+// TestTracerJSONRoundTrip validates the emitted Chrome trace against
+// encoding/json: the full stream must parse as an array of objects
+// with the trace_event schema's fields.
+func TestTracerJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.MetaProcessName(PIDPackets, "packets")
+	tr.MetaThreadName(PIDLinks, 0, `link "s0p1->s1p0"`) // quotes must escape
+	tr.Complete("2.5Gb/s->5Gb/s", "retune", PIDLinks, 0,
+		10*sim.Microsecond, sim.Microsecond, `"from_gbps":2.5,"to_gbps":5`)
+	tr.Instant("inject", "traffic", PIDPackets, 3, 1500*sim.Nanosecond, `"bytes":2048`)
+	tr.AsyncSpan("pkt", "packet", PIDPackets, 42,
+		sim.Microsecond, 3*sim.Microsecond, `"src":1,"dst":2`)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Events() != 6 { // async span = 2 events
+		t.Errorf("events = %d, want 6", tr.Events())
+	}
+
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 6 {
+		t.Fatalf("parsed %d events, want 6", len(events))
+	}
+	// Spot-check the complete event's schema and precision.
+	var retune map[string]any
+	for _, ev := range events {
+		if ev["ph"] == "X" {
+			retune = ev
+		}
+	}
+	if retune == nil {
+		t.Fatal("no complete event found")
+	}
+	if retune["ts"].(float64) != 10 || retune["dur"].(float64) != 1 {
+		t.Errorf("ts/dur = %v/%v, want 10/1 us", retune["ts"], retune["dur"])
+	}
+	args := retune["args"].(map[string]any)
+	if args["to_gbps"].(float64) != 5 {
+		t.Errorf("args = %v", args)
+	}
+	// Begin/end async events pair up by id.
+	var b, e int
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "b":
+			b++
+		case "e":
+			e++
+		}
+	}
+	if b != 1 || e != 1 {
+		t.Errorf("async begin/end = %d/%d, want 1/1", b, e)
+	}
+}
+
+func TestTracerEmptyClose(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("empty trace invalid: %v", err)
+	}
+	if len(events) != 0 {
+		t.Errorf("empty trace has %d events", len(events))
+	}
+}

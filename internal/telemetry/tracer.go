@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"epnet/internal/sim"
+)
+
+// Conventional trace process IDs, so every producer lands its events in
+// a predictable Perfetto track group. Run-level code names them with
+// MetaProcessName.
+const (
+	// PIDPackets groups packet-lifetime spans (inject -> deliver).
+	PIDPackets = 1
+	// PIDLinks groups link events (rate retunes, CDR re-locks), one
+	// thread row per channel.
+	PIDLinks = 2
+)
+
+// Tracer streams Chrome trace_event JSON (the chrome://tracing /
+// Perfetto "JSON array format"): one array of event objects, written
+// incrementally so arbitrarily long traces never buffer in memory.
+//
+// Timestamps and durations are microseconds (the format's unit),
+// converted from simulator picoseconds at full precision. All methods
+// are cheap no-ops once a write error occurs; Err reports the first
+// one. A Tracer is single-threaded, like the engine that drives it.
+type Tracer struct {
+	bw     *bufio.Writer
+	events int64
+	err    error
+}
+
+// NewTracer starts a trace stream on w. Call Close to terminate the
+// JSON array; the caller retains ownership of w (Close flushes but
+// does not close it).
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{bw: bufio.NewWriter(w)}
+	_, t.err = t.bw.WriteString("[\n")
+	return t
+}
+
+// us renders a simulator time as trace microseconds.
+func us(t sim.Time) string {
+	return strconv.FormatFloat(t.Microseconds(), 'f', -1, 64)
+}
+
+// emit writes one event object, handling commas and error latching.
+func (t *Tracer) emit(obj string) {
+	if t.err != nil {
+		return
+	}
+	if t.events > 0 {
+		if _, t.err = t.bw.WriteString(",\n"); t.err != nil {
+			return
+		}
+	}
+	if _, t.err = t.bw.WriteString(obj); t.err != nil {
+		return
+	}
+	t.events++
+}
+
+// argsField renders the optional args object from preformatted inner
+// JSON (e.g. `"src":3,"dst":7`); empty means no args.
+func argsField(args string) string {
+	if args == "" {
+		return ""
+	}
+	return `,"args":{` + args + `}`
+}
+
+// Complete emits a ph="X" complete event: a span of duration dur
+// starting at start on (pid, tid). Spans on one tid should not overlap
+// (use AsyncSpan for overlapping work like packets in flight).
+func (t *Tracer) Complete(name, cat string, pid, tid int, start, dur sim.Time, args string) {
+	t.emit(fmt.Sprintf(
+		`{"name":%q,"cat":%q,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d%s}`,
+		name, cat, us(start), us(dur), pid, tid, argsField(args)))
+}
+
+// Instant emits a ph="i" instant event at ts.
+func (t *Tracer) Instant(name, cat string, pid, tid int, ts sim.Time, args string) {
+	t.emit(fmt.Sprintf(
+		`{"name":%q,"cat":%q,"ph":"i","s":"t","ts":%s,"pid":%d,"tid":%d%s}`,
+		name, cat, us(ts), pid, tid, argsField(args)))
+}
+
+// AsyncSpan emits a ph="b"/"e" async event pair for a span that may
+// overlap others: viewers correlate begin and end by (cat, id, name)
+// and render each id on its own sub-track.
+func (t *Tracer) AsyncSpan(name, cat string, pid int, id int64, start, end sim.Time, args string) {
+	t.emit(fmt.Sprintf(
+		`{"name":%q,"cat":%q,"ph":"b","id":%d,"ts":%s,"pid":%d,"tid":0%s}`,
+		name, cat, id, us(start), pid, argsField(args)))
+	t.emit(fmt.Sprintf(
+		`{"name":%q,"cat":%q,"ph":"e","id":%d,"ts":%s,"pid":%d,"tid":0}`,
+		name, cat, id, us(end), pid))
+}
+
+// MetaProcessName names a pid's track group in the viewer.
+func (t *Tracer) MetaProcessName(pid int, name string) {
+	t.emit(fmt.Sprintf(
+		`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%q}}`,
+		pid, name))
+}
+
+// MetaThreadName names a (pid, tid) track row in the viewer.
+func (t *Tracer) MetaThreadName(pid, tid int, name string) {
+	t.emit(fmt.Sprintf(
+		`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%q}}`,
+		pid, tid, name))
+}
+
+// Events returns the number of events emitted so far.
+func (t *Tracer) Events() int64 { return t.events }
+
+// Err returns the first write error, if any.
+func (t *Tracer) Err() error { return t.err }
+
+// Close terminates the JSON array and flushes. The underlying writer
+// is not closed.
+func (t *Tracer) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	if _, t.err = t.bw.WriteString("\n]\n"); t.err != nil {
+		return t.err
+	}
+	t.err = t.bw.Flush()
+	return t.err
+}

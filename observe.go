@@ -1,0 +1,142 @@
+package epnet
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"epnet/internal/core"
+	"epnet/internal/fabric"
+	"epnet/internal/link"
+	"epnet/internal/power"
+	"epnet/internal/routing"
+	"epnet/internal/sim"
+	"epnet/internal/telemetry"
+)
+
+// observer wires a run's optional telemetry: the metrics sampler behind
+// Config.MetricsOut and the Chrome trace stream behind Config.TraceOut.
+// newObserver returns nil when both are disabled, so Run pays nothing
+// for observability it did not ask for.
+type observer struct {
+	cfg       Config
+	sampler   *telemetry.Sampler
+	tracer    *telemetry.Tracer
+	traceFile *os.File
+}
+
+// newObserver builds and starts the telemetry described by cfg. The
+// sampler takes its baseline immediately (at the engine's current time,
+// normally 0) and ticks until horizon; the tracer is attached to the
+// network and controller.
+func newObserver(cfg Config, e *sim.Engine, net *fabric.Network,
+	ctrl *core.Controller, fr *routing.FBFLY, ladder link.RateLadder,
+	horizon sim.Time) (*observer, error) {
+	if cfg.MetricsOut == "" && cfg.TraceOut == "" {
+		return nil, nil
+	}
+	o := &observer{cfg: cfg}
+	if cfg.TraceOut != "" {
+		f, err := os.Create(cfg.TraceOut)
+		if err != nil {
+			return nil, fmt.Errorf("epnet: creating trace output: %w", err)
+		}
+		o.traceFile = f
+		o.tracer = telemetry.NewTracer(f)
+		o.tracer.MetaProcessName(telemetry.PIDPackets, "packets")
+		o.tracer.MetaProcessName(telemetry.PIDLinks, "links")
+		for _, ch := range net.Channels() {
+			o.tracer.MetaThreadName(telemetry.PIDLinks, ch.Index(), ch.MetricName())
+		}
+		net.Tracer = o.tracer
+		if ctrl != nil {
+			ctrl.Tracer = o.tracer
+		}
+	}
+	if cfg.MetricsOut != "" {
+		reg := telemetry.NewRegistry()
+		if err := reg.GaugeFunc("sim.events_processed",
+			func() float64 { return float64(e.Processed()) }); err != nil {
+			return nil, err
+		}
+		if err := reg.GaugeFunc("sim.pending_events",
+			func() float64 { return float64(e.Pending()) }); err != nil {
+			return nil, err
+		}
+		if err := net.RegisterMetrics(reg); err != nil {
+			return nil, err
+		}
+		if ctrl != nil {
+			if err := ctrl.RegisterMetrics(reg); err != nil {
+				return nil, err
+			}
+		}
+		if fr != nil {
+			if err := fr.RegisterMetrics(reg); err != nil {
+				return nil, err
+			}
+		}
+		chans := make([]*link.Channel, 0, len(net.Channels()))
+		for _, ch := range net.Channels() {
+			chans = append(chans, ch.L)
+		}
+		for _, prof := range []power.Profile{
+			power.InfiniBandOptical(), power.NewIdeal(ladder.Max()),
+		} {
+			m := power.NewMeter(prof, chans)
+			if err := m.RegisterMetrics(reg, e.Now); err != nil {
+				return nil, err
+			}
+		}
+		s, err := telemetry.NewSampler(reg, simTime(cfg.SampleInterval))
+		if err != nil {
+			return nil, err
+		}
+		o.sampler = s
+		s.Start(e, horizon)
+	}
+	return o, nil
+}
+
+// finish takes the final (possibly partial-interval) sample, writes the
+// metrics file, and terminates the trace stream. Safe on a nil
+// observer; call exactly once, after the engine has drained.
+func (o *observer) finish(now sim.Time) error {
+	if o == nil {
+		return nil
+	}
+	if o.sampler != nil {
+		o.sampler.Finish(now)
+		f, err := os.Create(o.cfg.MetricsOut)
+		if err != nil {
+			return fmt.Errorf("epnet: creating metrics output: %w", err)
+		}
+		werr := o.writeSeries(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("epnet: writing metrics: %w", werr)
+		}
+	}
+	if o.tracer != nil {
+		terr := o.tracer.Close()
+		if cerr := o.traceFile.Close(); terr == nil {
+			terr = cerr
+		}
+		if terr != nil {
+			return fmt.Errorf("epnet: writing trace: %w", terr)
+		}
+	}
+	return nil
+}
+
+// writeSeries streams the sampled series in the format implied by the
+// output path's extension.
+func (o *observer) writeSeries(w io.Writer) error {
+	if strings.HasSuffix(o.cfg.MetricsOut, ".jsonl") {
+		return o.sampler.WriteJSONL(w)
+	}
+	return o.sampler.WriteCSV(w)
+}

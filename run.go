@@ -190,6 +190,14 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
+	// Optional telemetry: the controller's epoch tick is already
+	// scheduled, so on coincident timestamps the sampler observes
+	// post-retune link state (the engine breaks ties FIFO).
+	obs, err := newObserver(cfg, e, net, ctrl, fbflyRouter, fcfg.Ladder, horizon)
+	if err != nil {
+		return Result{}, err
+	}
+
 	// Workload.
 	w, err := buildWorkload(cfg)
 	if err != nil {
@@ -307,6 +315,9 @@ func Run(cfg Config) (Result, error) {
 		ctrl.Reconfigurations = 0
 	}
 	e.RunUntil(horizon)
+	if err := obs.finish(e.Now()); err != nil {
+		return Result{}, err
+	}
 
 	// Collect.
 	res := Result{
