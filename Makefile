@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json fmt experiments
+.PHONY: all build test race vet bench bench-json fmt fmt-check experiments smoke-faults
 
 all: build test
 
@@ -33,5 +33,15 @@ bench-json:
 fmt:
 	gofmt -l -w .
 
+# Fails if any file needs reformatting; used by CI.
+fmt-check:
+	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
+
 experiments:
 	$(GO) run ./cmd/experiments
+
+# Short resilience run under random faults; exercises the fault
+# injector end to end without the full experiment suite.
+smoke-faults:
+	$(GO) run ./cmd/experiments -only faultgrid -duration 1ms -warmup 200us -fault-mttr 100us

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"epnet"
@@ -22,6 +23,7 @@ import (
 func main() {
 	cfg := epnet.DefaultConfig()
 
+	preset := flag.String("preset", "", "start from a named preset ("+strings.Join(epnet.PresetNames(), " | ")+"); other flags override it")
 	topology := flag.String("topology", string(cfg.Topology), "topology: fbfly | fattree")
 	k := flag.Int("k", cfg.K, "FBFLY radix per dimension (or fat-tree leaf/spine count)")
 	n := flag.Int("n", cfg.N, "FBFLY n (dimensions incl. host dimension)")
@@ -33,6 +35,9 @@ func main() {
 	routing := flag.String("routing", "adaptive", "routing: adaptive | dor")
 	modeAware := flag.Bool("mode-aware", false, "mode-aware reactivation penalties (CDR vs lane retraining)")
 	failLinks := flag.Int("fail-links", 0, "abruptly fail this many inter-switch link pairs mid-run")
+	faults := flag.String("faults", "", `deterministic fault schedule, e.g. "50us fail-link s0p8; 400us repair-link s0p8"`)
+	faultRate := flag.Float64("fault-rate", 0, "seeded-random faults per simulated millisecond")
+	faultMTTR := flag.Duration("fault-mttr", 0, "mean time to repair for -fault-rate faults (default 200us)")
 	target := flag.Float64("target", cfg.TargetUtil, "target channel utilization")
 	independent := flag.Bool("independent", false, "tune unidirectional channels independently")
 	react := flag.Duration("reactivation", cfg.Reactivation, "link reactivation time")
@@ -49,27 +54,50 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file (open in chrome://tracing or ui.perfetto.dev)")
 	flag.Parse()
 
-	cfg.Topology = epnet.TopologyKind(*topology)
-	cfg.K, cfg.N, cfg.C = *k, *n, *c
-	cfg.Workload = epnet.WorkloadKind(*workload)
-	cfg.TracePath = *tracePath
-	cfg.Load = *load
-	cfg.Policy = epnet.PolicyKind(*policy)
-	cfg.Routing = epnet.RoutingKind(*routing)
-	cfg.ModeAwareReactivation = *modeAware
-	cfg.FailLinks = *failLinks
-	cfg.TargetUtil = *target
-	cfg.Independent = *independent
-	cfg.Reactivation = *react
-	cfg.Epoch = *epoch
-	cfg.Warmup = *warmup
-	cfg.Duration = *duration
-	cfg.Seed = *seed
-	cfg.DynTopo = *dyntopo
-	cfg.PowerSampleEvery = *powerTrace
-	cfg.MetricsOut = *metricsOut
-	cfg.SampleInterval = *sampleInterval
-	cfg.TraceOut = *traceOut
+	// With -preset, only flags the user actually set override the
+	// preset's values; without one, every flag applies (they default to
+	// DefaultConfig, preserving the original behavior).
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *preset != "" {
+		p, err := epnet.Preset(*preset)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "epsim:", err)
+			os.Exit(1)
+		}
+		cfg = p
+	}
+	apply := func(name string, set func()) {
+		if *preset == "" || explicit[name] {
+			set()
+		}
+	}
+	apply("topology", func() { cfg.Topology = epnet.TopologyKind(*topology) })
+	apply("k", func() { cfg.K = *k })
+	apply("n", func() { cfg.N = *n })
+	apply("c", func() { cfg.C = *c })
+	apply("workload", func() { cfg.Workload = epnet.WorkloadKind(*workload) })
+	apply("trace", func() { cfg.TracePath = *tracePath })
+	apply("load", func() { cfg.Load = *load })
+	apply("policy", func() { cfg.Policy = epnet.PolicyKind(*policy) })
+	apply("routing", func() { cfg.Routing = epnet.RoutingKind(*routing) })
+	apply("mode-aware", func() { cfg.ModeAwareReactivation = *modeAware })
+	apply("fail-links", func() { cfg.FailLinks = *failLinks })
+	apply("faults", func() { cfg.Faults = *faults })
+	apply("fault-rate", func() { cfg.FaultRate = *faultRate })
+	apply("fault-mttr", func() { cfg.FaultMTTR = *faultMTTR })
+	apply("target", func() { cfg.TargetUtil = *target })
+	apply("independent", func() { cfg.Independent = *independent })
+	apply("reactivation", func() { cfg.Reactivation = *react })
+	apply("epoch", func() { cfg.Epoch = *epoch })
+	apply("warmup", func() { cfg.Warmup = *warmup })
+	apply("duration", func() { cfg.Duration = *duration })
+	apply("seed", func() { cfg.Seed = *seed })
+	apply("dyntopo", func() { cfg.DynTopo = *dyntopo })
+	apply("power-trace", func() { cfg.PowerSampleEvery = *powerTrace })
+	apply("metrics-out", func() { cfg.MetricsOut = *metricsOut })
+	apply("sample-interval", func() { cfg.SampleInterval = *sampleInterval })
+	apply("trace-out", func() { cfg.TraceOut = *traceOut })
 
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "epsim:", err)
@@ -119,6 +147,14 @@ func main() {
 	fmt.Printf("traffic   : injected=%d delivered=%d backlog=%dB reconfigs=%d dyn-transitions=%d\n",
 		res.InjectedPackets, res.DeliveredPackets, res.BacklogBytes,
 		res.Reconfigurations, res.DynTransitions)
+	if res.Faults.Total() > 0 || res.DroppedPackets > 0 {
+		fmt.Printf("faults    : link-fail=%d link-repair=%d sw-fail=%d sw-repair=%d degrade=%d restore=%d\n",
+			res.Faults.LinkFailures, res.Faults.LinkRepairs,
+			res.Faults.SwitchFailures, res.Faults.SwitchRepairs,
+			res.Faults.LaneDegradations, res.Faults.LaneRestores)
+		fmt.Printf("delivery  : %.3f%% dropped=%d (%dB)\n",
+			res.DeliveredFraction*100, res.DroppedPackets, res.DroppedBytes)
+	}
 	fmt.Printf("asymmetry : %.2f  estimated power: %.0f W (%.1f J over the window)\n",
 		res.Asymmetry, res.EstimatedWatts, res.EnergyJoules)
 	if *hist && len(res.LatencyCDF) > 0 {

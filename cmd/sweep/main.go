@@ -7,12 +7,14 @@
 //	reactivation link reactivation time, epoch = 10x (Figure 9b's x axis)
 //	load         workload average utilization
 //	radix        FBFLY k (with c = k, n fixed)
+//	fault-rate   seeded-random fault events per simulated millisecond
 //
 // Examples:
 //
 //	sweep -x target -values 0.25,0.5,0.75 -workload search
 //	sweep -x reactivation -values 100ns,1us,10us -workload uniform -o fig9b.csv
 //	sweep -x load -values 0.02,0.05,0.1,0.2 -workload uniform -independent
+//	sweep -x fault-rate -values 0,0.2,0.5,1 -workload uniform -policy baseline
 package main
 
 import (
@@ -29,7 +31,7 @@ import (
 )
 
 func main() {
-	axis := flag.String("x", "target", "sweep axis: target | reactivation | load | radix")
+	axis := flag.String("x", "target", "sweep axis: target | reactivation | load | radix | fault-rate")
 	values := flag.String("values", "", "comma-separated axis values (durations for reactivation)")
 	workload := flag.String("workload", "search", "workload")
 	policy := flag.String("policy", "halve-double", "link control policy")
@@ -39,6 +41,9 @@ func main() {
 	duration := flag.Duration("duration", 4*time.Millisecond, "measurement window")
 	warmup := flag.Duration("warmup", time.Millisecond, "warmup")
 	seed := flag.Int64("seed", 1, "seed")
+	faults := flag.String("faults", "", "deterministic fault schedule applied to every run")
+	faultRate := flag.Float64("fault-rate", 0, "seeded-random faults per simulated ms applied to every run")
+	faultMTTR := flag.Duration("fault-mttr", 0, "mean time to repair for random faults (default 200us)")
 	out := flag.String("o", "", "output CSV file (default stdout)")
 	par := flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations (1 = serial; output is identical either way)")
 	metricsOut := flag.String("metrics-out", "", "per-run metric time series base path; each row gets a numeric suffix (telemetry.csv -> telemetry.000.csv)")
@@ -64,6 +69,7 @@ func main() {
 	header := []string{
 		*axis, "mean_latency_us", "p99_latency_us", "rel_power_measured",
 		"rel_power_ideal", "avg_util", "asymmetry", "reconfigs", "backlog_bytes",
+		"delivered_frac", "dropped_pkts",
 	}
 	if err := cw.Write(header); err != nil {
 		fail(err)
@@ -75,13 +81,16 @@ func main() {
 	var cfgs []epnet.Config
 	for _, raw := range strings.Split(*values, ",") {
 		raw = strings.TrimSpace(raw)
-		cfg := epnet.DefaultConfig()
-		cfg.K, cfg.N, cfg.C = *k, *n, *k
-		cfg.Workload = epnet.WorkloadKind(*workload)
-		cfg.Policy = epnet.PolicyKind(*policy)
+		cfg := epnet.NewConfig(epnet.TopoFBFLY,
+			epnet.WithRadix(*k),
+			epnet.WithDimensions(*n),
+			epnet.WithWorkload(epnet.WorkloadKind(*workload)),
+			epnet.WithPolicy(epnet.PolicyKind(*policy)),
+			epnet.WithWindow(*warmup, *duration),
+			epnet.WithSeed(*seed),
+			epnet.WithFaultSchedule(*faults),
+			epnet.WithFaultRate(*faultRate, *faultMTTR))
 		cfg.Independent = *independent
-		cfg.Warmup, cfg.Duration = *warmup, *duration
-		cfg.Seed = *seed
 
 		switch *axis {
 		case "target":
@@ -112,6 +121,12 @@ func main() {
 				fail(err)
 			}
 			cfg.K, cfg.C = v, v
+		case "fault-rate":
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				fail(err)
+			}
+			cfg.FaultRate = v
 		default:
 			fail(fmt.Errorf("unknown axis %q", *axis))
 		}
@@ -143,6 +158,8 @@ func main() {
 			fmt.Sprintf("%.4f", res.Asymmetry),
 			strconv.FormatInt(res.Reconfigurations, 10),
 			strconv.FormatInt(res.BacklogBytes, 10),
+			fmt.Sprintf("%.5f", res.DeliveredFraction),
+			strconv.FormatInt(res.DroppedPackets, 10),
 		}
 		if err := cw.Write(row); err != nil {
 			fail(err)

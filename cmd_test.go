@@ -116,7 +116,7 @@ func TestSweepSmoke(t *testing.T) {
 		t.Errorf("header = %q", lines[0])
 	}
 	for _, l := range lines[1:] {
-		if cols := strings.Split(l, ","); len(cols) != 9 {
+		if cols := strings.Split(l, ","); len(cols) != 11 {
 			t.Errorf("row has %d columns: %q", len(cols), l)
 		}
 	}

@@ -31,6 +31,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"epnet/internal/fault"
 )
 
 // PolicyKind selects the link-rate control policy for a simulation.
@@ -198,6 +200,28 @@ type Config struct {
 	// around dead links. FailAfter defaults to one quarter of Duration.
 	FailLinks int
 	FailAfter time.Duration
+
+	// Faults, when non-empty, is a deterministic fault schedule executed
+	// by the internal/fault injector: semicolon-separated events of the
+	// form "<offset> <verb> <target> [arg]", with offsets relative to the
+	// end of warmup. Verbs: fail-link / repair-link / degrade-link /
+	// restore-link (target "s<switch>p<port>", degrade takes a rate cap
+	// in Gb/s) and fail-switch / repair-switch (target is a switch
+	// index). Example:
+	//
+	//	"50us fail-link s0p8; 100us degrade-link s1p8 10; 400us repair-link s0p8"
+	//
+	// Requires adaptive routing (the router must mask dead ports).
+	Faults string
+
+	// FaultRate, when positive, additionally injects seeded-random link
+	// failures and lane degradations at this expected rate (events per
+	// simulated millisecond) through the measurement window. Failed
+	// links repair after an exponentially distributed time with mean
+	// FaultMTTR (default 200 µs). The sequence is a pure function of
+	// Seed: identical runs see identical fault histories.
+	FaultRate float64
+	FaultMTTR time.Duration
 }
 
 // DefaultConfig returns a fast-running configuration faithful to the
@@ -232,36 +256,42 @@ func PaperConfig() Config {
 }
 
 // Validate fills defaults and rejects inconsistent configurations.
+// Every error it returns matches ErrInvalidConfig under errors.Is and
+// carries the offending field name in a *ConfigFieldError; unknown enum
+// values additionally match the corresponding ErrUnknown* sentinel.
 func (c *Config) Validate() error {
 	if c.Topology == "" {
 		c.Topology = TopoFBFLY
 	}
 	if c.Topology != TopoFBFLY && c.Topology != TopoFatTree && c.Topology != TopoClos3 {
-		return fmt.Errorf("epnet: unknown topology %q", c.Topology)
+		return enumErr(ErrUnknownTopology, "Topology", "unknown topology %q", c.Topology)
 	}
 	if c.DynTopo && c.Topology != TopoFBFLY {
-		return fmt.Errorf("epnet: dynamic topologies require the flattened butterfly")
+		return fieldErr("DynTopo", "dynamic topologies require the flattened butterfly, not %q", c.Topology)
 	}
-	if c.K < 2 || c.C < 1 {
-		return fmt.Errorf("epnet: K must be >= 2 and C >= 1 (got K=%d C=%d)", c.K, c.C)
+	if c.K < 2 {
+		return fieldErr("K", "must be >= 2, got %d", c.K)
+	}
+	if c.C < 1 {
+		return fieldErr("C", "must be >= 1, got %d", c.C)
 	}
 	if c.Topology == TopoClos3 && (c.K < 4 || c.K%2 != 0) {
-		return fmt.Errorf("epnet: clos3 needs an even K >= 4, got %d", c.K)
+		return fieldErr("K", "clos3 needs an even K >= 4, got %d", c.K)
 	}
 	if c.Topology == TopoFBFLY && c.N < 2 {
-		return fmt.Errorf("epnet: N must be >= 2, got %d", c.N)
+		return fieldErr("N", "must be >= 2, got %d", c.N)
 	}
 	switch c.Workload {
 	case WorkloadUniform, WorkloadSearch, WorkloadAdvert, WorkloadPermutation,
 		WorkloadHotspot, WorkloadTornado:
 	case WorkloadTrace:
 		if c.TracePath == "" {
-			return fmt.Errorf("epnet: trace workload needs TracePath")
+			return fieldErr("TracePath", "trace workload needs a trace file")
 		}
 	case "":
 		c.Workload = WorkloadUniform
 	default:
-		return fmt.Errorf("epnet: unknown workload %q", c.Workload)
+		return enumErr(ErrUnknownWorkload, "Workload", "unknown workload %q", c.Workload)
 	}
 	switch c.Policy {
 	case PolicyBaseline, PolicyHalveDouble, PolicyMinMax, PolicyHysteresis,
@@ -269,67 +299,89 @@ func (c *Config) Validate() error {
 	case "":
 		c.Policy = PolicyBaseline
 	default:
-		return fmt.Errorf("epnet: unknown policy %q", c.Policy)
+		return enumErr(ErrUnknownPolicy, "Policy", "unknown policy %q", c.Policy)
 	}
 	switch c.Routing {
 	case RoutingAdaptive, RoutingDOR:
 	case "":
 		c.Routing = RoutingAdaptive
 	default:
-		return fmt.Errorf("epnet: unknown routing %q", c.Routing)
+		return enumErr(ErrUnknownRouting, "Routing", "unknown routing %q", c.Routing)
 	}
 	if c.Routing == RoutingDOR && c.Topology != TopoFBFLY {
-		return fmt.Errorf("epnet: dimension-order routing requires the flattened butterfly")
+		return fieldErr("Routing", "dimension-order routing requires the flattened butterfly, not %q", c.Topology)
 	}
 	if c.FailLinks < 0 {
-		return fmt.Errorf("epnet: negative FailLinks")
+		return fieldErr("FailLinks", "must be >= 0, got %d", c.FailLinks)
 	}
 	if c.FailLinks > 0 {
 		if c.Topology != TopoFBFLY || c.Routing == RoutingDOR {
-			return fmt.Errorf("epnet: link failures need the FBFLY with adaptive routing")
+			return fieldErr("FailLinks", "link failures need the FBFLY with adaptive routing")
 		}
 		if c.FailAfter < 0 {
-			return fmt.Errorf("epnet: negative FailAfter")
+			return fieldErr("FailAfter", "must be >= 0, got %v", c.FailAfter)
+		}
+	}
+	if c.Faults != "" {
+		if c.Routing == RoutingDOR {
+			return fieldErr("Faults", "fault injection needs adaptive routing (dead ports must be maskable)")
+		}
+		if _, err := fault.ParseSchedule(c.Faults); err != nil {
+			return fieldErr("Faults", "%v", err)
+		}
+	}
+	if c.FaultRate < 0 {
+		return fieldErr("FaultRate", "must be >= 0, got %v", c.FaultRate)
+	}
+	if c.FaultRate > 0 {
+		if c.Routing == RoutingDOR {
+			return fieldErr("FaultRate", "fault injection needs adaptive routing (dead ports must be maskable)")
+		}
+		if c.FaultMTTR < 0 {
+			return fieldErr("FaultMTTR", "must be >= 0, got %v", c.FaultMTTR)
+		}
+		if c.FaultMTTR == 0 {
+			c.FaultMTTR = 200 * time.Microsecond
 		}
 	}
 	if c.Load < 0 || c.Load >= 1 {
-		return fmt.Errorf("epnet: load %v out of [0,1)", c.Load)
+		return fieldErr("Load", "%v out of [0,1)", c.Load)
 	}
 	if c.TargetUtil == 0 {
 		c.TargetUtil = 0.5
 	}
 	if c.TargetUtil < 0 || c.TargetUtil > 1 {
-		return fmt.Errorf("epnet: target utilization %v out of (0,1]", c.TargetUtil)
+		return fieldErr("TargetUtil", "%v out of (0,1]", c.TargetUtil)
 	}
 	if c.Reactivation == 0 {
 		c.Reactivation = time.Microsecond
 	}
 	if c.Reactivation < 0 {
-		return fmt.Errorf("epnet: negative reactivation")
+		return fieldErr("Reactivation", "must be >= 0, got %v", c.Reactivation)
 	}
 	if c.Epoch == 0 {
 		c.Epoch = 10 * c.Reactivation
 	}
 	if c.Epoch <= c.Reactivation {
-		return fmt.Errorf("epnet: epoch %v must exceed reactivation %v", c.Epoch, c.Reactivation)
+		return fieldErr("Epoch", "%v must exceed reactivation %v", c.Epoch, c.Reactivation)
 	}
 	if c.SampleInterval < 0 {
-		return fmt.Errorf("epnet: negative sample interval")
+		return fieldErr("SampleInterval", "must be >= 0, got %v", c.SampleInterval)
 	}
 	if c.MetricsOut != "" && c.SampleInterval == 0 {
 		c.SampleInterval = c.Epoch
 	}
 	if c.Duration <= 0 {
-		return fmt.Errorf("epnet: duration must be positive")
+		return fieldErr("Duration", "must be positive, got %v", c.Duration)
 	}
 	if c.Warmup < 0 {
-		return fmt.Errorf("epnet: negative warmup")
+		return fieldErr("Warmup", "must be >= 0, got %v", c.Warmup)
 	}
 	if c.MaxPacket == 0 {
 		c.MaxPacket = 2048
 	}
 	if c.MaxPacket < 64 {
-		return fmt.Errorf("epnet: max packet %d too small", c.MaxPacket)
+		return fieldErr("MaxPacket", "%d below the 64-byte minimum", c.MaxPacket)
 	}
 	return nil
 }
@@ -406,6 +458,19 @@ type Result struct {
 	BacklogBytes     int64
 	DeliveredBytes   int64
 
+	// Drop accounting: packets lost to injected faults (in flight on a
+	// failing channel, queued behind a dead port with no live
+	// alternative, or destined to a crashed switch).
+	// DeliveredFraction is delivered / (delivered + dropped); 1.0 when
+	// nothing was dropped.
+	DroppedPackets    int64
+	DroppedBytes      int64
+	DeliveredFraction float64
+
+	// Faults summarizes injected fault events (zero value when fault
+	// injection is off).
+	Faults FaultStats
+
 	// PeakQueueBytes is the deepest switch output queue observed — the
 	// buffering the congestion-sensing mechanism had to ride out.
 	PeakQueueBytes int64
@@ -413,6 +478,22 @@ type Result struct {
 	// PowerTrace is the time series sampled every
 	// Config.PowerSampleEvery (empty when sampling is off).
 	PowerTrace []PowerSample
+}
+
+// FaultStats counts the fault events an injector executed during a run.
+type FaultStats struct {
+	LinkFailures     int64
+	LinkRepairs      int64
+	SwitchFailures   int64
+	SwitchRepairs    int64
+	LaneDegradations int64
+	LaneRestores     int64
+}
+
+// Total returns the number of injected fault events (repairs included).
+func (s FaultStats) Total() int64 {
+	return s.LinkFailures + s.LinkRepairs + s.SwitchFailures +
+		s.SwitchRepairs + s.LaneDegradations + s.LaneRestores
 }
 
 // PowerSample is one instant of the power-vs-load time series.

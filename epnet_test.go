@@ -59,11 +59,9 @@ func TestConfigValidateRejects(t *testing.T) {
 
 // fastCfg returns a quick configuration for facade tests.
 func fastCfg() Config {
-	cfg := DefaultConfig()
-	cfg.K, cfg.N, cfg.C = 4, 2, 4
-	cfg.Warmup = 100 * time.Microsecond
-	cfg.Duration = 500 * time.Microsecond
-	return cfg
+	return NewConfig(TopoFBFLY,
+		WithShape(4, 2, 4),
+		WithWindow(100*time.Microsecond, 500*time.Microsecond))
 }
 
 func TestRunBaseline(t *testing.T) {

@@ -16,8 +16,11 @@ func main() {
 	// Start from the library defaults: an 8-ary 2-flat (64 hosts,
 	// 8 switches), the web-search-like workload, and the paper's
 	// halve/double link-rate policy with a 50% utilization target,
-	// 1 us reactivation and 10 us epochs.
-	cfg := epnet.DefaultConfig()
+	// 1 us reactivation and 10 us epochs. Every knob has a With*
+	// option; the two below just restate the defaults.
+	cfg := epnet.NewConfig(epnet.TopoFBFLY,
+		epnet.WithWorkload(epnet.WorkloadSearch),
+		epnet.WithPolicy(epnet.PolicyHalveDouble))
 
 	res, err := epnet.Run(cfg)
 	if err != nil {

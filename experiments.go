@@ -19,6 +19,14 @@ type EvalConfig struct {
 	Duration time.Duration
 	Seed     int64
 
+	// Faults, FaultRate and FaultMTTR, when set, apply the corresponding
+	// Config fault injection to every simulation of the evaluation —
+	// useful to reproduce the paper figures on a degraded fabric. The
+	// resilience experiments add their own faults on top.
+	Faults    string
+	FaultRate float64
+	FaultMTTR time.Duration
+
 	// Parallel is the number of simulations run concurrently within one
 	// experiment (each on its own engine): < 1 means one per CPU, 1
 	// forces serial execution. Results are identical either way — see
@@ -83,11 +91,12 @@ func PaperEval() EvalConfig {
 }
 
 func (e EvalConfig) base() Config {
-	cfg := DefaultConfig()
-	cfg.K, cfg.N, cfg.C = e.K, e.N, e.C
-	cfg.Warmup, cfg.Duration = e.Warmup, e.Duration
-	cfg.Seed = e.Seed
-	return cfg
+	return NewConfig(TopoFBFLY,
+		WithShape(e.K, e.N, e.C),
+		WithWindow(e.Warmup, e.Duration),
+		WithSeed(e.Seed),
+		WithFaultSchedule(e.Faults),
+		WithFaultRate(e.FaultRate, e.FaultMTTR))
 }
 
 // grid runs a set of independent configurations with the evaluation's
@@ -671,6 +680,68 @@ func Resilience(e EvalConfig, w WorkloadKind, failCounts []int) ([]ResilienceRow
 			MeanLat:      res.MeanLatency,
 			P99Lat:       res.P99Latency,
 		})
+	}
+	return rows, nil
+}
+
+// ResilienceGridRow is one (policy, fault-rate) cell of the fault
+// injection grid.
+type ResilienceGridRow struct {
+	Policy    PolicyKind
+	FaultRate float64 // events per simulated millisecond
+	// DeliveredFrac is delivered / (delivered + dropped) — packets lost
+	// to dead channels, crashed switches, and unroutable destinations.
+	DeliveredFrac float64
+	MeanLat       time.Duration
+	// AddedMean is the latency this fault rate costs versus the same
+	// policy on a healthy fabric.
+	AddedMean    time.Duration
+	RelPowerID   float64
+	LinkFailures int64
+	Degradations int64
+}
+
+// ResilienceGrid crosses link-control policies with seeded-random fault
+// rates: for each policy one clean run plus one run per rate, measuring
+// what faults cost in delivery, latency, and power. The interesting
+// comparison is energy-proportional policies against the always-on
+// baseline — a detuned network rides through the same fault history
+// with the same delivered fraction, paying only latency.
+func ResilienceGrid(e EvalConfig, w WorkloadKind, policies []PolicyKind, rates []float64) ([]ResilienceGridRow, error) {
+	var cfgs []Config
+	for _, p := range policies {
+		clean := e.base()
+		clean.Workload = w
+		clean.Policy = p
+		clean.FaultRate, clean.Faults = 0, ""
+		cfgs = append(cfgs, clean)
+		for _, r := range rates {
+			cfg := clean
+			cfg.FaultRate = r
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := e.grid(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	stride := 1 + len(rates)
+	var rows []ResilienceGridRow
+	for i, p := range policies {
+		clean := results[stride*i]
+		for j, r := range rates {
+			res := results[stride*i+1+j]
+			rows = append(rows, ResilienceGridRow{
+				Policy:        p,
+				FaultRate:     r,
+				DeliveredFrac: res.DeliveredFraction,
+				MeanLat:       res.MeanLatency,
+				AddedMean:     res.MeanLatency - clean.MeanLatency,
+				RelPowerID:    res.RelPowerIdeal,
+				LinkFailures:  res.Faults.LinkFailures,
+				Degradations:  res.Faults.LaneDegradations,
+			})
+		}
 	}
 	return rows, nil
 }

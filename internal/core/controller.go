@@ -188,6 +188,10 @@ func (c *Controller) tick(now sim.Time) {
 				s.QueueBytes = sb.QueueBytes
 			}
 			next := c.Policy.Decide(s, a.Ladder())
+			// A degraded lane (fault injection) caps what either side
+			// can train to; clamp before comparing so a pinned link is
+			// not counted as reconfiguring every epoch.
+			next = b.ClampRate(a.ClampRate(next))
 			if next != a.Rate() {
 				react := c.reactivationFor(a.Rate(), next)
 				if c.Tracer != nil {
@@ -211,6 +215,7 @@ func (c *Controller) tick(now sim.Time) {
 				continue
 			}
 			next := c.Policy.Decide(c.signalsFor(ch, now), l.Ladder())
+			next = l.ClampRate(next)
 			if next != l.Rate() {
 				react := c.reactivationFor(l.Rate(), next)
 				if c.Tracer != nil {

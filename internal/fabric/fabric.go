@@ -94,6 +94,13 @@ type Chan struct {
 	waiting bool  // the sender is blocked awaiting credits
 	net     *Network
 	idx     int // position in Network.chans; trace thread id
+
+	// Fault state. failed marks a hard failure (distinct from a planned
+	// dynamic-topology PowerOff); failEpoch increments on every failure
+	// so already-scheduled arrival events can recognize packets that
+	// were in flight when the channel died (see Packet.chEpoch).
+	failed    bool
+	failEpoch uint32
 }
 
 // takeCredits consumes n credits if available.
@@ -116,6 +123,9 @@ func (c *Chan) returnCredits(n int, now sim.Time) {
 
 // Credits returns the available credits (tests and diagnostics).
 func (c *Chan) Credits() int64 { return c.credits }
+
+// Failed reports whether the channel is hard-failed (fault injection).
+func (c *Chan) Failed() bool { return c.failed }
 
 // Index returns the channel's position in Network.Channels(). It is
 // stable for the network's lifetime and doubles as the channel's trace
@@ -171,6 +181,15 @@ type Network struct {
 	deliveredPkts  int64
 	injectedBytes  int64
 	deliveredBytes int64
+
+	// Fault accounting. faultsEnabled gates every fault check on the
+	// packet path, so runs without an injector execute the exact same
+	// instructions as before the fault subsystem existed (one bool test
+	// aside) and choosePort keeps its fail-loudly panics.
+	faultsEnabled bool
+	deadSwitch    []bool
+	droppedPkts   int64
+	droppedBytes  int64
 }
 
 // New builds a network over topology t with router r.
@@ -343,6 +362,7 @@ func (n *Network) deliverAcross(c *Chan, pkt *Packet, start, done sim.Time) {
 	tailIn := done + n.Cfg.WireDelay
 	pkt.HeadIn, pkt.TailIn = headIn, tailIn
 	pkt.ch = c
+	pkt.chEpoch = c.failEpoch
 	switch c.Dst.Kind {
 	case topo.KindHost:
 		n.E.AtArg(tailIn, n.fnDeliver, pkt, 0)
@@ -354,6 +374,10 @@ func (n *Network) deliverAcross(c *Chan, pkt *Packet, start, done sim.Time) {
 // deliverEvent sinks a packet at its destination host.
 func (n *Network) deliverEvent(now sim.Time, arg any, _ int64) {
 	p := arg.(*Packet)
+	if n.faultsEnabled && (p.ch.failed || p.ch.failEpoch != p.chEpoch) {
+		n.dropPacket(p, now, "in-flight on failed channel")
+		return
+	}
 	n.Hosts[p.Dst].deliver(p, now)
 }
 
@@ -365,7 +389,15 @@ func (n *Network) deliverEvent(now sim.Time, arg any, _ int64) {
 func (n *Network) arriveEvent(now sim.Time, arg any, _ int64) {
 	p := arg.(*Packet)
 	ch := p.ch
+	// Return the credit even for packets about to be dropped: the
+	// upstream pool mirrors the input buffer, which the dead arrival no
+	// longer occupies. This keeps every pool exactly full once traffic
+	// drains, failures or not.
 	n.E.AtArg(now+n.Cfg.CreditDelay, n.fnCredit, ch, int64(p.Size))
+	if n.faultsEnabled && (ch.failed || ch.failEpoch != p.chEpoch) {
+		n.dropPacket(p, now, "in-flight on failed channel")
+		return
+	}
 	n.Switches[ch.Dst.ID].arrive(p, now)
 }
 
@@ -373,6 +405,89 @@ func (n *Network) arriveEvent(now sim.Time, arg any, _ int64) {
 func (n *Network) creditEvent(now sim.Time, arg any, size int64) {
 	arg.(*Chan).returnCredits(int(size), now)
 }
+
+// EnableFaults switches the network into fault-tolerant mode: packets
+// that lose their route (dead channels, crashed switches) are dropped
+// and counted instead of panicking. Call once, before injection; runs
+// without an injector never pay for the checks.
+func (n *Network) EnableFaults() {
+	n.faultsEnabled = true
+	if n.deadSwitch == nil {
+		n.deadSwitch = make([]bool, len(n.Switches))
+	}
+}
+
+// FaultsEnabled reports whether EnableFaults has been called.
+func (n *Network) FaultsEnabled() bool { return n.faultsEnabled }
+
+// FailChan hard-fails one directed channel: the link powers off with no
+// drain, and any packet in flight across it is dropped on arrival.
+// Requires EnableFaults. The caller is responsible for masking the
+// sending port in the router and pumping the sending switch.
+func (n *Network) FailChan(c *Chan, now sim.Time) {
+	if !n.faultsEnabled {
+		panic("fabric: FailChan without EnableFaults")
+	}
+	if c.failed {
+		return
+	}
+	c.failed = true
+	c.failEpoch++
+	c.L.PowerOff(now)
+}
+
+// RepairChan returns a failed channel to service at rate r, paying
+// reactivation (CDR re-lock / lane retraining) before it can carry
+// data. The sender is kicked so queued traffic resumes.
+func (n *Network) RepairChan(c *Chan, now sim.Time, r link.Rate, reactivation sim.Time) {
+	if !c.failed {
+		return
+	}
+	c.failed = false
+	c.L.PowerOn(now, r, reactivation)
+	c.L.ResetEpoch(now)
+	n.KickSender(c, now)
+}
+
+// KickSender re-evaluates the entity feeding channel c (after a repair
+// or rate restoration).
+func (n *Network) KickSender(c *Chan, now sim.Time) { n.wakeSender(c, now) }
+
+// SetSwitchDead marks a switch crashed or revived. Packets arriving at
+// a dead switch — or at any switch, destined to a host attached to a
+// dead switch — are dropped. Requires EnableFaults.
+func (n *Network) SetSwitchDead(sw int, dead bool) {
+	if !n.faultsEnabled {
+		panic("fabric: SetSwitchDead without EnableFaults")
+	}
+	n.deadSwitch[sw] = dead
+}
+
+// SwitchDead reports whether a switch is crashed.
+func (n *Network) SwitchDead(sw int) bool {
+	return n.faultsEnabled && n.deadSwitch[sw]
+}
+
+// dropPacket accounts for and recycles a packet lost to a fault. The
+// packet's message can never complete, so its completion tracking is
+// torn down.
+func (n *Network) dropPacket(p *Packet, now sim.Time, why string) {
+	n.droppedPkts++
+	n.droppedBytes += int64(p.Size)
+	if n.Tracer != nil {
+		n.Tracer.Instant("drop", "fault", telemetry.PIDFaults, 0, now,
+			fmt.Sprintf(`"pkt":%d,"src":%d,"dst":%d,"bytes":%d,"why":%q`,
+				p.ID, p.Src, p.Dst, p.Size, why))
+	}
+	if n.OnMessageDone != nil {
+		delete(n.msgRemaining, p.MsgID)
+		delete(n.msgInject, p.MsgID)
+	}
+	n.freePacket(p)
+}
+
+// Dropped returns total packets and bytes lost to injected faults.
+func (n *Network) Dropped() (pkts, bytes int64) { return n.droppedPkts, n.droppedBytes }
 
 // InjectedMessages returns the number of messages offered.
 func (n *Network) InjectedMessages() int64 { return n.injectedMsgs }
@@ -399,8 +514,11 @@ func (n *Network) HostBacklogBytes() int64 {
 	return total
 }
 
-// InFlightPackets returns injected minus delivered packets.
-func (n *Network) InFlightPackets() int64 { return n.injectedPkts - n.deliveredPkts }
+// InFlightPackets returns injected minus delivered (and dropped)
+// packets.
+func (n *Network) InFlightPackets() int64 {
+	return n.injectedPkts - n.deliveredPkts - n.droppedPkts
+}
 
 // NumHosts returns the number of hosts (satisfies traffic.Target).
 func (n *Network) NumHosts() int { return len(n.Hosts) }

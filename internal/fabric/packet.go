@@ -37,6 +37,12 @@ type Packet struct {
 	// the packet lets arrivals be scheduled through pre-bound functions
 	// instead of a fresh closure per hop.
 	ch *Chan
+
+	// chEpoch snapshots ch's fail epoch at transmit time. Heap events
+	// cannot be cancelled, so a channel failure instead bumps the
+	// epoch: an arrival whose snapshot no longer matches was in flight
+	// when the channel died and is dropped.
+	chEpoch uint32
 }
 
 // pktQueue is an allocation-friendly FIFO of packets.

@@ -74,7 +74,21 @@ func (s *Switch) Closing(port int) bool { return s.closing[port] }
 // enqueue it.
 func (s *Switch) arrive(pkt *Packet, now sim.Time) {
 	pkt.Hops++
+	if s.net.faultsEnabled {
+		if s.net.deadSwitch[s.id] {
+			s.net.dropPacket(pkt, now, "arrived at crashed switch")
+			return
+		}
+		if dstSw, _ := s.net.T.HostAttachment(pkt.Dst); s.net.deadSwitch[dstSw] {
+			s.net.dropPacket(pkt, now, "destination switch crashed")
+			return
+		}
+	}
 	port := s.choosePort(pkt, now)
+	if port < 0 {
+		s.net.dropPacket(pkt, now, "no live route")
+		return
+	}
 	s.enqueue(port, pkt, now)
 }
 
@@ -94,6 +108,20 @@ func (s *Switch) enqueue(port int, pkt *Packet, now sim.Time) {
 // packets if the channel is gone.
 func (s *Switch) PumpPort(port int, now sim.Time) { s.pumpOut(port, now) }
 
+// DropAllQueued empties every output queue of a crashed switch,
+// counting each packet as dropped, and returns how many were lost.
+func (s *Switch) DropAllQueued(now sim.Time) int {
+	dropped := 0
+	for port := range s.queues {
+		for _, pkt := range s.queues[port].drain() {
+			s.net.dropPacket(pkt, now, "queued in crashed switch")
+			dropped++
+		}
+		s.queuedBytes[port] = 0
+	}
+	return dropped
+}
+
 // RoutedPackets returns the number of packets this switch has enqueued.
 func (s *Switch) RoutedPackets() int64 { return s.routedPackets }
 
@@ -104,12 +132,19 @@ func (s *Switch) PeakQueueBytes() int64 { return s.peakQueue }
 // the smallest output queue (in bytes) — the paper's per-hop adaptive
 // routing. Powered-off and draining ports are avoided; ties break
 // uniformly at random.
+//
+// Without fault injection an empty or all-unwired candidate set is a
+// routing bug and panics. With faults enabled it is a reachable state
+// (every minimal port dead) and returns -1; the caller drops.
 func (s *Switch) choosePort(pkt *Packet, now sim.Time) int {
 	cands := s.net.R.Candidates(s.id, pkt.Dst, s.candBuf[:0])
 	if len(cands) == 0 {
+		if s.net.faultsEnabled {
+			return -1
+		}
 		panic(fmt.Sprintf("fabric: sw%d has no route to host %d", s.id, pkt.Dst))
 	}
-	if len(cands) == 1 {
+	if len(cands) == 1 && !s.net.faultsEnabled {
 		return cands[0]
 	}
 	const closingPenalty = int64(1) << 40
@@ -119,6 +154,9 @@ func (s *Switch) choosePort(pkt *Packet, now sim.Time) int {
 	for _, p := range cands {
 		ch := s.out[p]
 		if ch == nil {
+			continue
+		}
+		if s.net.faultsEnabled && ch.failed {
 			continue
 		}
 		cost := s.queuedBytes[p]
@@ -150,6 +188,9 @@ func (s *Switch) choosePort(pkt *Packet, now sim.Time) int {
 		}
 	}
 	if best == -1 {
+		if s.net.faultsEnabled {
+			return -1
+		}
 		panic(fmt.Sprintf("fabric: sw%d candidates %v all unwired for host %d", s.id, cands, pkt.Dst))
 	}
 	return best
@@ -210,11 +251,21 @@ func (s *Switch) rerouteQueue(port int, now sim.Time) {
 	s.queuedBytes[port] = 0
 	for _, pkt := range pkts {
 		newPort := s.choosePort(pkt, now)
-		if newPort == port {
+		if newPort < 0 {
+			s.net.dropPacket(pkt, now, "no live route")
+			continue
+		}
+		if newPort == port && !(s.net.faultsEnabled && s.out[port].failed) {
 			// No alternative: keep it here and hope the controller
 			// powers the link back on; avoid infinite recursion.
 			s.queues[port].push(pkt)
 			s.queuedBytes[port] += int64(pkt.Size)
+			continue
+		}
+		if newPort == port {
+			// The router still offers only the failed port: no live
+			// alternative exists.
+			s.net.dropPacket(pkt, now, "queued behind failed channel")
 			continue
 		}
 		s.enqueue(newPort, pkt, now)

@@ -41,6 +41,7 @@ func (n *Network) RegisterMetrics(reg *telemetry.Registry) error {
 	netGauges := map[string]func() float64{
 		"net.injected_pkts":    func() float64 { p, _ := n.Injected(); return float64(p) },
 		"net.delivered_pkts":   func() float64 { p, _ := n.Delivered(); return float64(p) },
+		"net.dropped_pkts":     func() float64 { p, _ := n.Dropped(); return float64(p) },
 		"net.injected_mbytes":  func() float64 { _, b := n.Injected(); return float64(b) / 1e6 },
 		"net.delivered_mbytes": func() float64 { _, b := n.Delivered(); return float64(b) / 1e6 },
 		"net.backlog_bytes":    func() float64 { return float64(n.HostBacklogBytes()) },
@@ -48,8 +49,9 @@ func (n *Network) RegisterMetrics(reg *telemetry.Registry) error {
 	}
 	// Maps iterate in random order; register deterministically.
 	for _, name := range []string{
-		"net.injected_pkts", "net.delivered_pkts", "net.injected_mbytes",
-		"net.delivered_mbytes", "net.backlog_bytes", "net.inflight_pkts",
+		"net.injected_pkts", "net.delivered_pkts", "net.dropped_pkts",
+		"net.injected_mbytes", "net.delivered_mbytes", "net.backlog_bytes",
+		"net.inflight_pkts",
 	} {
 		if err := reg.GaugeFunc(name, netGauges[name]); err != nil {
 			return err

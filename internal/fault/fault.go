@@ -1,0 +1,206 @@
+// Package fault is a deterministic fault-injection engine for the
+// simulated fabric: scheduled or seeded-random link failures and
+// repairs, switch crashes, and lane degradations that pin a link's
+// SerDes below its full rate.
+//
+// Faults are ordinary events on the simulation heap, so a seeded fault
+// history is exactly reproducible and composes with every other
+// subsystem: the fabric drops and counts packets caught on dead
+// channels, the routers mask failed ports (degraded FBFLY dimensions
+// route around dead ring links; up/down routing re-picks live uplinks),
+// and the epoch controller sees a repaired link pay its reactivation
+// (CDR re-lock / lane retraining) before carrying data again.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"epnet/internal/link"
+)
+
+// Kind enumerates the injectable fault events.
+type Kind uint8
+
+const (
+	// FailLink hard-fails both directions of a link: no drain, in-flight
+	// packets are dropped, routing masks the dead ports.
+	FailLink Kind = iota
+	// RepairLink returns a failed link to service after reactivation.
+	RepairLink
+	// DegradeLink pins a link's rate at or below a cap — a failed lane
+	// keeps the SerDes from training its full mode, composing with the
+	// rate ladder (a degraded 40G link still halves/doubles below the
+	// cap).
+	DegradeLink
+	// RestoreLink lifts a degradation cap.
+	RestoreLink
+	// FailSwitch crashes a switch: queued packets are lost, every
+	// incident inter-switch link fails, and packets destined to its
+	// hosts are dropped at the first live switch that sees them.
+	FailSwitch
+	// RepairSwitch revives a crashed switch and all its incident links.
+	RepairSwitch
+)
+
+var kindNames = [...]string{
+	FailLink:     "fail-link",
+	RepairLink:   "repair-link",
+	DegradeLink:  "degrade-link",
+	RestoreLink:  "restore-link",
+	FailSwitch:   "fail-switch",
+	RepairSwitch: "repair-switch",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsLink reports whether the kind targets a link (vs a switch).
+func (k Kind) IsLink() bool { return k <= RestoreLink }
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is the event's offset from the schedule's start (the end of
+	// warmup, for a full simulation run).
+	At time.Duration
+	// Kind selects the fault operation.
+	Kind Kind
+	// Sw (and, for link events, Port) identify the target: a link is
+	// named by either of its switch-side endpoints. Port is -1 for
+	// switch events.
+	Sw, Port int
+	// CapGbps is DegradeLink's pinned ceiling in Gb/s; it must lie on
+	// the rate ladder.
+	CapGbps float64
+}
+
+// Cap returns the degradation ceiling as a link.Rate.
+func (e Event) Cap() link.Rate {
+	return link.Rate(math.Round(e.CapGbps * 1e9))
+}
+
+// Target renders the event's target for messages: "s2p9" or "sw 3".
+func (e Event) Target() string {
+	if e.Kind.IsLink() {
+		return fmt.Sprintf("s%dp%d", e.Sw, e.Port)
+	}
+	return fmt.Sprintf("sw %d", e.Sw)
+}
+
+// Schedule is an ordered list of fault events.
+type Schedule []Event
+
+// ParseSchedule parses the textual schedule format used by the -faults
+// flag: semicolon-separated entries of the form
+//
+//	<offset> <verb> <target> [arg]
+//
+// where <offset> is a time.ParseDuration offset from the schedule
+// start, <verb> is one of fail-link / repair-link / degrade-link /
+// restore-link / fail-switch / repair-switch, <target> is "s<sw>p<port>"
+// for link verbs or a switch index for switch verbs, and degrade-link
+// takes a rate cap in Gb/s as its <arg>:
+//
+//	50us fail-link s0p8; 100us degrade-link s1p9 10; 400us repair-link s0p8
+//
+// Only syntax is checked here; target existence is validated against
+// the actual network by Injector.Apply.
+func ParseSchedule(s string) (Schedule, error) {
+	var out Schedule
+	for _, entry := range strings.Split(s, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		ev, err := parseEntry(entry)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("fault: empty schedule")
+	}
+	return out, nil
+}
+
+func parseEntry(entry string) (Event, error) {
+	fields := strings.Fields(entry)
+	if len(fields) < 3 {
+		return Event{}, fmt.Errorf("fault: entry %q needs \"<offset> <verb> <target>\"", entry)
+	}
+	at, err := time.ParseDuration(fields[0])
+	if err != nil {
+		return Event{}, fmt.Errorf("fault: entry %q: bad offset: %v", entry, err)
+	}
+	if at < 0 {
+		return Event{}, fmt.Errorf("fault: entry %q: negative offset", entry)
+	}
+	ev := Event{At: at, Port: -1}
+	found := false
+	for k, name := range kindNames {
+		if name == fields[1] {
+			ev.Kind, found = Kind(k), true
+			break
+		}
+	}
+	if !found {
+		return Event{}, fmt.Errorf("fault: entry %q: unknown verb %q", entry, fields[1])
+	}
+
+	wantFields := 3
+	if ev.Kind == DegradeLink {
+		wantFields = 4
+	}
+	if len(fields) != wantFields {
+		return Event{}, fmt.Errorf("fault: entry %q: %s takes %d fields, got %d",
+			entry, ev.Kind, wantFields, len(fields))
+	}
+
+	if ev.Kind.IsLink() {
+		ev.Sw, ev.Port, err = parseLinkTarget(fields[2])
+		if err != nil {
+			return Event{}, fmt.Errorf("fault: entry %q: %v", entry, err)
+		}
+	} else {
+		ev.Sw, err = strconv.Atoi(fields[2])
+		if err != nil || ev.Sw < 0 {
+			return Event{}, fmt.Errorf("fault: entry %q: bad switch index %q", entry, fields[2])
+		}
+	}
+	if ev.Kind == DegradeLink {
+		ev.CapGbps, err = strconv.ParseFloat(fields[3], 64)
+		if err != nil || ev.CapGbps <= 0 {
+			return Event{}, fmt.Errorf("fault: entry %q: bad rate cap %q (Gb/s)", entry, fields[3])
+		}
+	}
+	return ev, nil
+}
+
+// parseLinkTarget parses "s<switch>p<port>".
+func parseLinkTarget(s string) (sw, port int, err error) {
+	rest, ok := strings.CutPrefix(s, "s")
+	if !ok {
+		return 0, 0, fmt.Errorf("link target %q is not of the form s<sw>p<port>", s)
+	}
+	swStr, portStr, ok := strings.Cut(rest, "p")
+	if !ok {
+		return 0, 0, fmt.Errorf("link target %q is not of the form s<sw>p<port>", s)
+	}
+	sw, err = strconv.Atoi(swStr)
+	if err != nil || sw < 0 {
+		return 0, 0, fmt.Errorf("link target %q: bad switch index", s)
+	}
+	port, err = strconv.Atoi(portStr)
+	if err != nil || port < 0 {
+		return 0, 0, fmt.Errorf("link target %q: bad port", s)
+	}
+	return sw, port, nil
+}

@@ -1,0 +1,311 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"epnet/internal/fabric"
+	"epnet/internal/link"
+	"epnet/internal/routing"
+	"epnet/internal/sim"
+	"epnet/internal/topo"
+)
+
+func TestParseSchedule(t *testing.T) {
+	sched, err := ParseSchedule(
+		"50us fail-link s0p8; 100us degrade-link s1p9 10;" +
+			" 200us restore-link s1p9; 400us repair-link s0p8;" +
+			" 500us fail-switch 3; 600us repair-switch 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 6 {
+		t.Fatalf("parsed %d events, want 6", len(sched))
+	}
+	want := []Event{
+		{At: 50 * time.Microsecond, Kind: FailLink, Sw: 0, Port: 8},
+		{At: 100 * time.Microsecond, Kind: DegradeLink, Sw: 1, Port: 9, CapGbps: 10},
+		{At: 200 * time.Microsecond, Kind: RestoreLink, Sw: 1, Port: 9},
+		{At: 400 * time.Microsecond, Kind: RepairLink, Sw: 0, Port: 8},
+		{At: 500 * time.Microsecond, Kind: FailSwitch, Sw: 3, Port: -1},
+		{At: 600 * time.Microsecond, Kind: RepairSwitch, Sw: 3, Port: -1},
+	}
+	for i, ev := range sched {
+		if ev != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, ev, want[i])
+		}
+	}
+	if got := sched[1].Cap(); got != link.Rate10G {
+		t.Errorf("degrade cap = %v, want %v", got, link.Rate10G)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	cases := []string{
+		"",                          // empty schedule
+		";;",                        // only separators
+		"fail-link s0p1",            // missing offset
+		"xx fail-link s0p1",         // bad offset
+		"-5us fail-link s0p1",       // negative offset
+		"10us explode s0p1",         // unknown verb
+		"10us fail-link",            // missing target
+		"10us fail-link s0p1 40",    // extra arg for non-degrade
+		"10us degrade-link s0p1",    // missing cap
+		"10us degrade-link s0p1 -4", // negative cap
+		"10us fail-link 3",          // switch target for link verb
+		"10us fail-link sXp1",       // bad switch index
+		"10us fail-link s0pY",       // bad port
+		"10us fail-switch s0p1",     // link target for switch verb
+		"10us fail-switch -1",       // negative switch
+	}
+	for _, s := range cases {
+		if _, err := ParseSchedule(s); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", s)
+		}
+	}
+}
+
+// newTestNet builds a 4-ary 2-flat (4 switches in one fully connected
+// dimension, 2 hosts each) with its adaptive router and injector.
+func newTestNet(t testing.TB) (*sim.Engine, *fabric.Network, *routing.FBFLY, *Injector) {
+	t.Helper()
+	e := sim.New()
+	f := topo.MustFBFLY(4, 2, 2)
+	r := routing.NewFBFLY(f)
+	n, err := fabric.New(e, f, r, fabric.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, n, r, New(n, r)
+}
+
+// injectAllPairs offers one message from every host to every other.
+func injectAllPairs(n *fabric.Network, bytes int) {
+	hosts := n.T.NumHosts()
+	for s := 0; s < hosts; s++ {
+		for d := 0; d < hosts; d++ {
+			if s != d {
+				n.InjectMessage(s, d, bytes)
+			}
+		}
+	}
+}
+
+func conserve(t *testing.T, n *fabric.Network) (delivered, dropped int64) {
+	t.Helper()
+	inj, _ := n.Injected()
+	delivered, _ = n.Delivered()
+	dropped, _ = n.Dropped()
+	if delivered+dropped != inj {
+		t.Errorf("conservation: delivered %d + dropped %d != injected %d",
+			delivered, dropped, inj)
+	}
+	return delivered, dropped
+}
+
+// TestRingModeRoutesAroundDeadLink degrades the switch dimension to a
+// ring and kills one ring link: every packet must still deliver by
+// going the other way around (the arc-walk candidates).
+func TestRingModeRoutesAroundDeadLink(t *testing.T) {
+	e, n, r, inj := newTestNet(t)
+	f := n.T.(*topo.FBFLY)
+	r.SetMode(0, routing.DimRing)
+	// Kill the ring link between coordinates 1 and 2.
+	if !inj.FailLink(0, 1, f.PortToPeer(1, 0, 2)) {
+		t.Fatal("FailLink refused")
+	}
+	injectAllPairs(n, 4096)
+	e.Run()
+	delivered, dropped := conserve(t, n)
+	if dropped != 0 {
+		t.Errorf("dropped %d packets, want 0 (failure predates injection)", dropped)
+	}
+	if injected, _ := n.Injected(); delivered != injected {
+		t.Errorf("delivered %d of %d", delivered, injected)
+	}
+}
+
+// TestFullModeDegradesToLine fails links until the fully connected
+// dimension is the line 0-1-2-3; misrouting must still deliver every
+// packet hop by hop.
+func TestFullModeDegradesToLine(t *testing.T) {
+	e, n, _, inj := newTestNet(t)
+	f := n.T.(*topo.FBFLY)
+	for _, pair := range [][2]int{{0, 2}, {0, 3}, {1, 3}} {
+		if !inj.FailLink(0, pair[0], f.PortToPeer(pair[0], 0, pair[1])) {
+			t.Fatalf("FailLink(%v) refused", pair)
+		}
+	}
+	if inj.Stats.LinkFailures != 3 || inj.LinksDown() != 3 {
+		t.Fatalf("failures = %d, down = %d", inj.Stats.LinkFailures, inj.LinksDown())
+	}
+	injectAllPairs(n, 4096)
+	e.Run()
+	delivered, dropped := conserve(t, n)
+	if dropped != 0 {
+		t.Errorf("dropped %d packets, want 0", dropped)
+	}
+	if injected, _ := n.Injected(); delivered != injected {
+		t.Errorf("delivered %d of %d", delivered, injected)
+	}
+}
+
+// TestRepairRestoresService fails a link, repairs it, and checks the
+// repaired link carries traffic again at the expected rate.
+func TestRepairRestoresService(t *testing.T) {
+	e, n, _, inj := newTestNet(t)
+	f := n.T.(*topo.FBFLY)
+	port := f.PortToPeer(0, 0, 1)
+	if !inj.FailLink(0, 0, port) {
+		t.Fatal("FailLink refused")
+	}
+	if inj.FailLink(0, 0, port) {
+		t.Error("second FailLink on a down link succeeded")
+	}
+	if !inj.RepairLink(10*sim.Microsecond, 0, port) {
+		t.Fatal("RepairLink refused")
+	}
+	if inj.LinksDown() != 0 {
+		t.Errorf("links down = %d after repair", inj.LinksDown())
+	}
+	pr, _ := inj.PairAt(0, port)
+	for _, ch := range pr {
+		if ch.Failed() {
+			t.Error("channel still failed after repair")
+		}
+		if got := ch.L.Rate(); got != n.Cfg.Ladder.Max() {
+			t.Errorf("repaired rate = %v, want ladder max %v", got, n.Cfg.Ladder.Max())
+		}
+	}
+	injectAllPairs(n, 2048)
+	e.Run()
+	if _, dropped := conserve(t, n); dropped != 0 {
+		t.Errorf("dropped %d after repair", dropped)
+	}
+}
+
+// TestDegradeCapsRate pins a link below full rate and checks the cap
+// is applied, clamps SetRate, and lifts on restore.
+func TestDegradeCapsRate(t *testing.T) {
+	_, n, _, inj := newTestNet(t)
+	f := n.T.(*topo.FBFLY)
+	port := f.PortToPeer(0, 0, 1)
+	if !inj.DegradeLink(0, 0, port, link.Rate10G) {
+		t.Fatal("DegradeLink refused")
+	}
+	pr, _ := inj.PairAt(0, port)
+	for _, ch := range pr {
+		if got := ch.L.Rate(); got > link.Rate10G {
+			t.Errorf("degraded rate = %v above cap", got)
+		}
+		ch.L.SetRate(sim.Microsecond, link.Rate40G, 0)
+		if got := ch.L.Rate(); got != link.Rate10G {
+			t.Errorf("SetRate above cap trained to %v, want clamp at 10G", got)
+		}
+	}
+	inj.RestoreRate = n.Cfg.Ladder.Max()
+	if !inj.RestoreLink(2*sim.Microsecond, 0, port) {
+		t.Fatal("RestoreLink refused")
+	}
+	for _, ch := range pr {
+		if got := ch.L.Rate(); got != link.Rate40G {
+			t.Errorf("restored rate = %v, want 40G", got)
+		}
+	}
+	if inj.Stats.LaneDegradations != 1 || inj.Stats.LaneRestores != 1 {
+		t.Errorf("stats = %+v", inj.Stats)
+	}
+}
+
+// TestSwitchCrashDropsAndRepairs crashes a switch mid-traffic: packets
+// to its hosts drop, everything else delivers, and conservation holds
+// exactly after the drain.
+func TestSwitchCrashDropsAndRepairs(t *testing.T) {
+	e, n, _, inj := newTestNet(t)
+	if !inj.FailSwitch(0, 3) {
+		t.Fatal("FailSwitch refused")
+	}
+	if inj.FailSwitch(0, 3) {
+		t.Error("second FailSwitch succeeded")
+	}
+	if !n.SwitchDead(3) {
+		t.Error("switch 3 not marked dead")
+	}
+	injectAllPairs(n, 2048)
+	e.Run()
+	delivered, dropped := conserve(t, n)
+	if dropped == 0 {
+		t.Error("no packets dropped with a crashed destination switch")
+	}
+	// Hosts 6,7 are on switch 3: 2x6 inbound single-packet messages
+	// from live hosts drop (plus the crashed hosts' own traffic, which
+	// dies on its first live hop or at the local switch).
+	if delivered == 0 {
+		t.Error("nothing delivered around the crashed switch")
+	}
+
+	if !inj.RepairSwitch(e.Now()+sim.Microsecond, 3) {
+		t.Fatal("RepairSwitch refused")
+	}
+	if inj.LinksDown() != 0 {
+		t.Errorf("links still down after switch repair: %d", inj.LinksDown())
+	}
+	injectAllPairs(n, 2048)
+	e.Run()
+	if _, droppedAfter := conserve(t, n); droppedAfter != dropped {
+		t.Errorf("new drops after switch repair: %d -> %d", dropped, droppedAfter)
+	}
+}
+
+// TestApplyValidatesTargets rejects schedules naming nonexistent links,
+// off-ladder caps, and out-of-range switches before scheduling anything.
+func TestApplyValidatesTargets(t *testing.T) {
+	_, _, _, inj := newTestNet(t)
+	for _, s := range []string{
+		"10us fail-link s0p0",      // host port, not inter-switch
+		"10us fail-link s9p4",      // no such switch endpoint
+		"10us degrade-link s0p4 7", // 7 Gb/s not on the ladder
+		"10us fail-switch 11",      // out of range
+	} {
+		sched, err := ParseSchedule(s)
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", s, err)
+		}
+		if err := inj.Apply(0, sched); err == nil {
+			t.Errorf("Apply(%q) accepted", s)
+		}
+	}
+}
+
+// TestRandomFaultsConserveAndReplay runs a dense seeded fault storm
+// under traffic and checks (a) exact packet conservation after drain
+// and (b) bit-identical replay for the same seed.
+func TestRandomFaultsConserveAndReplay(t *testing.T) {
+	type outcome struct {
+		delivered, dropped int64
+		stats              Stats
+	}
+	run := func(seed int64) outcome {
+		e, n, _, inj := newTestNet(t)
+		horizon := 2 * sim.Millisecond
+		inj.StartRandom(0, horizon, 5, 50*sim.Microsecond, seed)
+		// Waves of all-pairs traffic through the fault window.
+		for i := 0; i < 8; i++ {
+			at := sim.Time(i) * 200 * sim.Microsecond
+			e.At(at, func(sim.Time) { injectAllPairs(n, 4096) })
+		}
+		e.Run()
+		delivered, dropped := conserve(t, n)
+		return outcome{delivered, dropped, inj.Stats}
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.stats.LinkFailures == 0 {
+		t.Error("fault storm produced no link failures")
+	}
+	if c := run(8); c == a {
+		t.Error("different seed produced an identical run (suspicious)")
+	}
+}

@@ -264,6 +264,11 @@ type Channel struct {
 	rate   Rate
 	state  State
 
+	// cap, when non-zero, pins the channel at or below this rate: a
+	// degraded lane keeps the SerDes from training its full mode
+	// (fault injection). SetRate and PowerOn clamp against it.
+	cap Rate
+
 	// reconfigUntil is when the current reactivation completes.
 	reconfigUntil sim.Time
 
@@ -358,6 +363,7 @@ func (c *Channel) SetRate(now sim.Time, r Rate, reactivation sim.Time) {
 	if c.ladder.Index(r) < 0 {
 		panic(fmt.Sprintf("link %s: rate %v not on ladder", c.Name, r))
 	}
+	r = c.ClampRate(r)
 	if c.state != Off && c.rate == r && c.State(now) == Active {
 		return
 	}
@@ -393,7 +399,7 @@ func (c *Channel) PowerOn(now sim.Time, r Rate, reactivation sim.Time) {
 	}
 	c.account(now)
 	c.state = Active
-	c.rate = r
+	c.rate = c.ClampRate(r)
 	if reactivation > 0 {
 		c.state = Reconfiguring
 		c.reconfigUntil = now + reactivation
@@ -401,6 +407,41 @@ func (c *Channel) PowerOn(now sim.Time, r Rate, reactivation sim.Time) {
 			c.busyUntil = c.reconfigUntil
 		}
 	}
+}
+
+// SetRateCap limits the channel to rates at or below cap — a degraded
+// lane pinning the SerDes below its full mode. cap must be on the
+// ladder; cap 0 removes the limit. An Active channel running above a
+// new cap is immediately retuned down to it, paying reactivation; an
+// Off channel just remembers the cap for its next PowerOn. Raising or
+// clearing the cap never retunes by itself — the rate controller (or
+// RestoreRate) decides when to climb back.
+func (c *Channel) SetRateCap(now sim.Time, cap Rate, reactivation sim.Time) {
+	if cap != 0 && c.ladder.Index(cap) < 0 {
+		panic(fmt.Sprintf("link %s: rate cap %v not on ladder", c.Name, cap))
+	}
+	c.cap = cap
+	if cap != 0 && c.state != Off && c.rate > cap {
+		c.SetRate(now, cap, reactivation)
+	}
+}
+
+// RateCap returns the current rate cap (0 = uncapped).
+func (c *Channel) RateCap() Rate { return c.cap }
+
+// ClampRate returns r limited to the channel's rate cap: the largest
+// ladder rate <= cap when r exceeds it, else r unchanged.
+func (c *Channel) ClampRate(r Rate) Rate {
+	if c.cap == 0 || r <= c.cap {
+		return r
+	}
+	best := c.ladder.Min()
+	for _, v := range c.ladder {
+		if v <= c.cap && v > best {
+			best = v
+		}
+	}
+	return best
 }
 
 // AvailableAt returns the earliest time >= now at which the channel can

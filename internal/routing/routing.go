@@ -18,6 +18,19 @@ type Router interface {
 	Candidates(sw, dst int, buf []int) []int
 }
 
+// PortMasker is a Router that can exclude failed output ports from its
+// candidate sets — the contract the fault injector needs. Ports are
+// identified as (switch, port); marking a port dead must make the
+// router stop offering it (and, where the topology allows, offer live
+// detours instead).
+type PortMasker interface {
+	Router
+	// SetDead marks or clears a failed inter-switch port.
+	SetDead(sw, port int, dead bool)
+	// Dead reports whether a port is marked failed.
+	Dead(sw, port int) bool
+}
+
 // DimMode is the operating mode of one flattened-butterfly dimension,
 // used by the dynamic topology controller (§5.1): a fully connected
 // dimension can be degraded to a ring (torus-like) or a line (mesh-like)
@@ -167,21 +180,58 @@ func (r *FBFLY) Candidates(sw, dst int, buf []int) []int {
 			k := f.K
 			fwd := (want - own + k) % k
 			bwd := (own - want + k) % k
-			if fwd <= bwd {
+			// With failures present, greedy shortest-way routing can
+			// steer into a dead ring link partway around; walk each arc
+			// and only offer directions that reach the target coordinate
+			// over live links. Fault-free rings skip the walks entirely.
+			blockedFwd, blockedBwd := false, false
+			if len(r.dead) > 0 {
+				blockedFwd = r.arcBlocked(sw, d, own, want, +1)
+				blockedBwd = r.arcBlocked(sw, d, own, want, -1)
+			}
+			if (fwd <= bwd || blockedBwd) && !blockedFwd {
 				buf = append(buf, f.PortToPeer(sw, d, (own+1)%k))
 			}
-			if bwd <= fwd {
+			if (bwd <= fwd || blockedFwd) && !blockedBwd {
 				buf = append(buf, f.PortToPeer(sw, d, (own-1+k)%k))
 			}
 		case DimLine:
 			if want > own {
-				buf = append(buf, f.PortToPeer(sw, d, own+1))
+				if len(r.dead) == 0 || !r.arcBlocked(sw, d, own, want, +1) {
+					buf = append(buf, f.PortToPeer(sw, d, own+1))
+				}
 			} else {
-				buf = append(buf, f.PortToPeer(sw, d, own-1))
+				if len(r.dead) == 0 || !r.arcBlocked(sw, d, own, want, -1) {
+					buf = append(buf, f.PortToPeer(sw, d, own-1))
+				}
 			}
 		}
 	}
 	return buf
+}
+
+// arcBlocked reports whether walking dimension d from coordinate own to
+// want, stepping dir (+1 forward, -1 backward) one coordinate at a
+// time with wraparound, crosses a dead link. Degraded (ring/line)
+// dimensions route over exactly these single-step links, so a blocked
+// arc means the direction cannot reach the target coordinate.
+func (r *FBFLY) arcBlocked(sw, d, own, want, dir int) bool {
+	f := r.F
+	k := f.K
+	cur, cc := sw, own
+	for cc != want {
+		nv := ((cc+dir)%k + k) % k
+		p := f.PortToPeer(cur, d, nv)
+		if r.dead[cur*f.Radix()+p] {
+			return true
+		}
+		peer, ok := f.Peer(cur, p)
+		if !ok {
+			return true
+		}
+		cur, cc = peer.ID, nv
+	}
+	return false
 }
 
 // ActiveInDim reports whether the link from sw through port (which must
@@ -240,28 +290,69 @@ func (r *DOR) Candidates(sw, dst int, buf []int) []int {
 	panic("routing: DOR found no mismatched dimension for non-local packet")
 }
 
+// deadSet is the failed-port bookkeeping shared by the up/down routers
+// (FBFLY keeps its own map because its misroute logic reads it
+// directly). Keys are sw*radix+port; a nil map costs one length test
+// on the fault-free path.
+type deadSet struct {
+	dead  map[int]bool
+	radix int
+}
+
+// SetDead marks or clears a failed inter-switch port.
+func (s *deadSet) SetDead(sw, port int, dead bool) {
+	if s.dead == nil {
+		s.dead = make(map[int]bool)
+	}
+	key := sw*s.radix + port
+	if dead {
+		s.dead[key] = true
+	} else {
+		delete(s.dead, key)
+	}
+}
+
+// Dead reports whether a port is marked failed.
+func (s *deadSet) Dead(sw, port int) bool {
+	if len(s.dead) == 0 {
+		return false
+	}
+	return s.dead[sw*s.radix+port]
+}
+
 // FatTree routes on a two-level folded Clos: packets at a leaf go
 // directly to a local host, or adaptively up to any spine; packets at a
-// spine go down the (unique) port to the destination's leaf.
+// spine go down the (unique) port to the destination's leaf. Failed
+// uplinks are re-picked among the live spines; a failed downlink has no
+// alternative (each spine reaches a leaf by one port), so its packets
+// are dropped by the fabric.
 type FatTree struct {
 	T *topo.FatTree
+	deadSet
 }
 
 // NewFatTree returns a router for t.
-func NewFatTree(t *topo.FatTree) *FatTree { return &FatTree{T: t} }
+func NewFatTree(t *topo.FatTree) *FatTree {
+	return &FatTree{T: t, deadSet: deadSet{radix: t.Radix()}}
+}
 
 // Candidates implements Router.
 func (r *FatTree) Candidates(sw, dst int, buf []int) []int {
 	t := r.T
 	if t.IsSpine(sw) {
-		return append(buf, t.LeafOfHost(dst))
+		if p := t.LeafOfHost(dst); !r.Dead(sw, p) {
+			buf = append(buf, p)
+		}
+		return buf
 	}
 	leaf, port := t.HostAttachment(dst)
 	if leaf == sw {
 		return append(buf, port)
 	}
 	for s := 0; s < t.Spines; s++ {
-		buf = append(buf, t.UplinkPort(s))
+		if p := t.UplinkPort(s); !r.Dead(sw, p) {
+			buf = append(buf, p)
+		}
 	}
 	return buf
 }
@@ -269,13 +360,18 @@ func (r *FatTree) Candidates(sw, dst int, buf []int) []int {
 // Clos3 routes up/down on a three-tier folded Clos: packets climb
 // adaptively (any aggregation, then any core) until they reach a common
 // ancestor of source and destination, then descend deterministically.
-// Up/down routing is deadlock-free by construction.
+// Up/down routing is deadlock-free by construction. Failed uplinks are
+// re-picked among the live ones; failed downlinks (deterministic,
+// unique) leave no candidate.
 type Clos3 struct {
 	T *topo.Clos3
+	deadSet
 }
 
 // NewClos3 returns a router for t.
-func NewClos3(t *topo.Clos3) *Clos3 { return &Clos3{T: t} }
+func NewClos3(t *topo.Clos3) *Clos3 {
+	return &Clos3{T: t, deadSet: deadSet{radix: t.Radix()}}
+}
 
 // Candidates implements Router.
 func (r *Clos3) Candidates(sw, dst int, buf []int) []int {
@@ -287,7 +383,9 @@ func (r *Clos3) Candidates(sw, dst int, buf []int) []int {
 			return append(buf, dstPort)
 		}
 		for a := 0; a < t.K/2; a++ {
-			buf = append(buf, t.AggUplinkPort(a))
+			if p := t.AggUplinkPort(a); !r.Dead(sw, p) {
+				buf = append(buf, p)
+			}
 		}
 		return buf
 	case t.IsAgg(sw):
@@ -295,20 +393,31 @@ func (r *Clos3) Candidates(sw, dst int, buf []int) []int {
 		if t.PodOfHost(dst) == pod {
 			// Down to the destination edge.
 			e := t.EdgeOfHost(dst) - pod*(t.K/2)
-			return append(buf, e)
+			if !r.Dead(sw, e) {
+				buf = append(buf, e)
+			}
+			return buf
 		}
 		for i := 0; i < t.K/2; i++ {
-			buf = append(buf, t.CoreUplinkPort(i))
+			if p := t.CoreUplinkPort(i); !r.Dead(sw, p) {
+				buf = append(buf, p)
+			}
 		}
 		return buf
 	default: // core: one downlink per pod
-		return append(buf, t.PodOfHost(dst))
+		if p := t.PodOfHost(dst); !r.Dead(sw, p) {
+			buf = append(buf, p)
+		}
+		return buf
 	}
 }
 
 var (
-	_ Router = (*FBFLY)(nil)
-	_ Router = (*DOR)(nil)
-	_ Router = (*FatTree)(nil)
-	_ Router = (*Clos3)(nil)
+	_ Router     = (*FBFLY)(nil)
+	_ Router     = (*DOR)(nil)
+	_ Router     = (*FatTree)(nil)
+	_ Router     = (*Clos3)(nil)
+	_ PortMasker = (*FBFLY)(nil)
+	_ PortMasker = (*FatTree)(nil)
+	_ PortMasker = (*Clos3)(nil)
 )

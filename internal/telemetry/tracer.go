@@ -18,6 +18,9 @@ const (
 	// PIDLinks groups link events (rate retunes, CDR re-locks), one
 	// thread row per channel.
 	PIDLinks = 2
+	// PIDFaults groups fault-injection events: failure/repair outage
+	// spans per link pair, switch crashes, and packet drops.
+	PIDFaults = 3
 )
 
 // Tracer streams Chrome trace_event JSON (the chrome://tracing /

@@ -8,6 +8,7 @@ import (
 
 	"epnet/internal/core"
 	"epnet/internal/fabric"
+	"epnet/internal/fault"
 	"epnet/internal/link"
 	"epnet/internal/power"
 	"epnet/internal/routing"
@@ -31,8 +32,8 @@ type observer struct {
 // normally 0) and ticks until horizon; the tracer is attached to the
 // network and controller.
 func newObserver(cfg Config, e *sim.Engine, net *fabric.Network,
-	ctrl *core.Controller, fr *routing.FBFLY, ladder link.RateLadder,
-	horizon sim.Time) (*observer, error) {
+	ctrl *core.Controller, fr *routing.FBFLY, inj *fault.Injector,
+	ladder link.RateLadder, horizon sim.Time) (*observer, error) {
 	if cfg.MetricsOut == "" && cfg.TraceOut == "" {
 		return nil, nil
 	}
@@ -52,6 +53,10 @@ func newObserver(cfg Config, e *sim.Engine, net *fabric.Network,
 		net.Tracer = o.tracer
 		if ctrl != nil {
 			ctrl.Tracer = o.tracer
+		}
+		if inj != nil {
+			o.tracer.MetaProcessName(telemetry.PIDFaults, "faults")
+			inj.Tracer = o.tracer
 		}
 	}
 	if cfg.MetricsOut != "" {
@@ -74,6 +79,11 @@ func newObserver(cfg Config, e *sim.Engine, net *fabric.Network,
 		}
 		if fr != nil {
 			if err := fr.RegisterMetrics(reg); err != nil {
+				return nil, err
+			}
+		}
+		if inj != nil {
+			if err := inj.RegisterMetrics(reg); err != nil {
 				return nil, err
 			}
 		}

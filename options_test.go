@@ -1,0 +1,83 @@
+package epnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewConfigOptions(t *testing.T) {
+	cfg := NewConfig(TopoFBFLY,
+		WithRadix(8),
+		WithDimensions(3),
+		WithPolicy(PolicyHalveDouble),
+		WithWorkload(WorkloadSearch),
+		WithTargetUtil(0.75),
+		WithIndependentChannels(),
+		WithReactivation(100*time.Nanosecond),
+		WithWindow(time.Millisecond, 4*time.Millisecond),
+		WithSeed(7),
+		WithFaultRate(0.5, 100*time.Microsecond),
+		WithFaultSchedule("50us fail-link s0p8"),
+		WithLinkFailures(2, 10*time.Microsecond),
+	)
+	if cfg.Topology != TopoFBFLY || cfg.K != 8 || cfg.C != 8 || cfg.N != 3 {
+		t.Errorf("shape = %s k=%d n=%d c=%d", cfg.Topology, cfg.K, cfg.N, cfg.C)
+	}
+	if cfg.Policy != PolicyHalveDouble || cfg.TargetUtil != 0.75 || !cfg.Independent {
+		t.Errorf("policy = %s target=%v independent=%v", cfg.Policy, cfg.TargetUtil, cfg.Independent)
+	}
+	if cfg.Reactivation != 100*time.Nanosecond || cfg.Epoch != time.Microsecond {
+		t.Errorf("reactivation = %v epoch = %v, want 10x scaling", cfg.Reactivation, cfg.Epoch)
+	}
+	if cfg.Warmup != time.Millisecond || cfg.Duration != 4*time.Millisecond || cfg.Seed != 7 {
+		t.Errorf("window = %v/%v seed=%d", cfg.Warmup, cfg.Duration, cfg.Seed)
+	}
+	if cfg.FaultRate != 0.5 || cfg.FaultMTTR != 100*time.Microsecond {
+		t.Errorf("fault rate = %v mttr = %v", cfg.FaultRate, cfg.FaultMTTR)
+	}
+	if cfg.Faults != "50us fail-link s0p8" || cfg.FailLinks != 2 || cfg.FailAfter != 10*time.Microsecond {
+		t.Errorf("faults = %q fail-links = %d after %v", cfg.Faults, cfg.FailLinks, cfg.FailAfter)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("option-built config invalid: %v", err)
+	}
+}
+
+func TestNewConfigLaterOptionWins(t *testing.T) {
+	cfg := NewConfig(TopoFBFLY, WithRadix(8), WithConcentration(4))
+	if cfg.K != 8 || cfg.C != 4 {
+		t.Errorf("k=%d c=%d, want 8/4 (WithConcentration after WithRadix)", cfg.K, cfg.C)
+	}
+}
+
+func TestPresetsAllValidate(t *testing.T) {
+	names := PresetNames()
+	if len(names) == 0 {
+		t.Fatal("no presets registered")
+	}
+	for _, name := range names {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("preset %q does not validate: %v", name, err)
+		}
+		if PresetDoc(name) == "" {
+			t.Errorf("preset %q has no doc line", name)
+		}
+	}
+	if _, err := Preset("no-such-preset"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestPresetPaperShape(t *testing.T) {
+	cfg, err := Preset("paper-fbfly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.K != 15 || cfg.N != 3 || cfg.C != 15 {
+		t.Errorf("paper preset shape k=%d n=%d c=%d, want 15-ary 3-flat c=15", cfg.K, cfg.N, cfg.C)
+	}
+}

@@ -1,13 +1,14 @@
 package epnet
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 	"os"
 	"time"
 
 	"epnet/internal/core"
 	"epnet/internal/fabric"
+	"epnet/internal/fault"
 	"epnet/internal/link"
 	"epnet/internal/parallel"
 	"epnet/internal/power"
@@ -110,9 +111,124 @@ func buildWorkload(cfg Config) (traffic.Workload, error) {
 	return w, nil
 }
 
+// advance drives the engine to until, checking ctx for cooperative
+// cancellation at every epoch boundary. A context that can never be
+// canceled (Run's context.Background) collapses to a single RunUntil
+// call, so the uncancelable path costs nothing extra. Cancellation
+// observed after the window completes is ignored — the work is done.
+func advance(ctx context.Context, e *sim.Engine, until, epoch sim.Time) error {
+	if ctx.Done() == nil {
+		e.RunUntil(until)
+		return nil
+	}
+	for now := e.Now(); now < until; now = e.Now() {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("epnet: run canceled at %v: %w", toDuration(now), err)
+		}
+		step := now + epoch
+		if step > until {
+			step = until
+		}
+		e.RunUntil(step)
+	}
+	return nil
+}
+
+// buildInjector constructs and wires the fault injector when cfg asks
+// for any kind of fault, or returns nil.
+func buildInjector(cfg Config, net *fabric.Network, router routing.Router,
+	fbflyRouter *routing.FBFLY, ladder link.RateLadder) (*fault.Injector, error) {
+	if cfg.Faults == "" && cfg.FaultRate <= 0 && cfg.FailLinks <= 0 {
+		return nil, nil
+	}
+	masker, ok := router.(routing.PortMasker)
+	if !ok {
+		return nil, fieldErr("Routing", "fault injection requires adaptive routing, got %q", cfg.Routing)
+	}
+	inj := fault.New(net, masker)
+	if cfg.ModeAwareReactivation {
+		// A repaired link retrains its lanes; a cap-forced retune only
+		// re-locks the receive CDR (§3.1).
+		rm := link.DefaultReactivation()
+		inj.RepairReactivation = rm.LaneChange
+		inj.DegradeReactivation = rm.CDRLock
+	} else {
+		inj.RepairReactivation = simTime(cfg.Reactivation)
+		inj.DegradeReactivation = simTime(cfg.Reactivation)
+	}
+	if cfg.Policy == PolicyBaseline {
+		// No controller will climb the ladder; a restored link retunes
+		// straight back to line rate.
+		inj.RestoreRate = ladder.Max()
+	}
+	if fbflyRouter != nil {
+		// Random faults must not partition the network: both endpoints
+		// keep at least two live links in the affected dimension (real
+		// clusters with more damage would be drained by operators).
+		fb := fbflyRouter.F
+		liveInDim := func(sw, dim int) int {
+			live := 0
+			for v := 0; v < fb.K; v++ {
+				if v == fb.Coord(sw, dim) {
+					continue
+				}
+				if !fbflyRouter.Dead(sw, fb.PortToPeer(sw, dim, v)) {
+					live++
+				}
+			}
+			return live
+		}
+		inj.Guard = func(pr [2]*fabric.Chan) bool {
+			dim := fb.PortDim(pr[0].Src.Port)
+			return liveInDim(pr[0].Src.ID, dim) >= 2 && liveInDim(pr[1].Src.ID, dim) >= 2
+		}
+	}
+	return inj, nil
+}
+
+// scheduleFaults puts cfg's fault events on the engine: the legacy
+// abrupt FailLinks batch, the explicit Faults schedule, and the
+// seeded-random FaultRate process. Offsets are relative to warmup.
+func scheduleFaults(cfg Config, e *sim.Engine, inj *fault.Injector,
+	warmup, horizon sim.Time) error {
+	if cfg.FailLinks > 0 {
+		failAt := cfg.FailAfter
+		if failAt == 0 {
+			failAt = cfg.Duration / 4
+		}
+		count := cfg.FailLinks
+		e.At(warmup+simTime(failAt), func(now sim.Time) {
+			inj.FailRandomLinks(now, count, cfg.Seed)
+		})
+	}
+	if cfg.Faults != "" {
+		sched, err := fault.ParseSchedule(cfg.Faults)
+		if err != nil {
+			return fieldErr("Faults", "%v", err) // unreachable: Validate parsed it
+		}
+		if err := inj.Apply(warmup, sched); err != nil {
+			return fieldErr("Faults", "%v", err)
+		}
+	}
+	if cfg.FaultRate > 0 {
+		inj.StartRandom(warmup, horizon, cfg.FaultRate, simTime(cfg.FaultMTTR), cfg.Seed)
+	}
+	return nil
+}
+
 // Run executes one simulation described by cfg and returns its
-// measurements. The run is deterministic for a given Config.
+// measurements. The run is deterministic for a given Config. It is
+// shorthand for RunContext with a background context.
 func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is
+// canceled, the simulation stops at the next epoch boundary and the
+// context's error is returned (wrapped; test with errors.Is). A run
+// that completes its measurement window before cancellation is
+// observed returns its Result normally.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -190,10 +306,17 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
+	// Fault injection: one injector executes the explicit schedule, the
+	// seeded-random process, and the legacy abrupt-failure batch.
+	inj, err := buildInjector(cfg, net, router, fbflyRouter, fcfg.Ladder)
+	if err != nil {
+		return Result{}, err
+	}
+
 	// Optional telemetry: the controller's epoch tick is already
 	// scheduled, so on coincident timestamps the sampler observes
 	// post-retune link state (the engine breaks ties FIFO).
-	obs, err := newObserver(cfg, e, net, ctrl, fbflyRouter, fcfg.Ladder, horizon)
+	obs, err := newObserver(cfg, e, net, ctrl, fbflyRouter, inj, fcfg.Ladder, horizon)
 	if err != nil {
 		return Result{}, err
 	}
@@ -205,59 +328,10 @@ func Run(cfg Config) (Result, error) {
 	}
 	w.Start(e, net, horizon)
 
-	// Optional abrupt link failures (§1 failure-domain experiment).
-	if cfg.FailLinks > 0 {
-		failAt := cfg.FailAfter
-		if failAt == 0 {
-			failAt = cfg.Duration / 4
+	if inj != nil {
+		if err := scheduleFaults(cfg, e, inj, warmup, horizon); err != nil {
+			return Result{}, err
 		}
-		at := warmup + simTime(failAt)
-		frng := rand.New(rand.NewSource(cfg.Seed ^ 0x0FA11))
-		e.At(at, func(now sim.Time) {
-			var interSwitch [][2]*fabric.Chan
-			for _, pr := range net.Pairs() {
-				if pr[0].Src.Kind == topo.KindSwitch && pr[0].Dst.Kind == topo.KindSwitch {
-					interSwitch = append(interSwitch, pr)
-				}
-			}
-			frng.Shuffle(len(interSwitch), func(i, j int) {
-				interSwitch[i], interSwitch[j] = interSwitch[j], interSwitch[i]
-			})
-			// A failure is only injected if both endpoint switches keep
-			// at least one live link in the affected dimension, so the
-			// network stays connected (real clusters with this much
-			// damage would be drained by operators anyway).
-			fb := fbflyRouter.F
-			liveInDim := func(sw, dim int) int {
-				live := 0
-				for v := 0; v < fb.K; v++ {
-					if v == fb.Coord(sw, dim) {
-						continue
-					}
-					if !fbflyRouter.Dead(sw, fb.PortToPeer(sw, dim, v)) {
-						live++
-					}
-				}
-				return live
-			}
-			failed := 0
-			for _, pr := range interSwitch {
-				if failed == cfg.FailLinks {
-					break
-				}
-				dim := fb.PortDim(pr[0].Src.Port)
-				if liveInDim(pr[0].Src.ID, dim) < 2 || liveInDim(pr[1].Src.ID, dim) < 2 {
-					continue
-				}
-				for _, ch := range pr {
-					ch.L.PowerOff(now)
-					fbflyRouter.SetDead(ch.Src.ID, ch.Src.Port, true)
-					// Kick the port so queued packets reroute.
-					net.Switches[ch.Src.ID].PumpPort(ch.Src.Port, now)
-				}
-				failed++
-			}
-		})
 	}
 
 	// Optional instantaneous power sampling.
@@ -307,14 +381,19 @@ func Run(cfg Config) (Result, error) {
 
 	// Warmup, then reset accounting so power/occupancy reflect steady
 	// state.
-	e.RunUntil(warmup)
+	epoch := simTime(cfg.Epoch)
+	if err := advance(ctx, e, warmup, epoch); err != nil {
+		return Result{}, err
+	}
 	for _, ch := range net.Channels() {
 		ch.L.ResetAccounting(e.Now())
 	}
 	if ctrl != nil {
 		ctrl.Reconfigurations = 0
 	}
-	e.RunUntil(horizon)
+	if err := advance(ctx, e, horizon, epoch); err != nil {
+		return Result{}, err
+	}
 	if err := obs.finish(e.Now()); err != nil {
 		return Result{}, err
 	}
@@ -418,6 +497,15 @@ func Run(cfg Config) (Result, error) {
 	}
 	res.InjectedPackets, _ = net.Injected()
 	res.DeliveredPackets, res.DeliveredBytes = net.Delivered()
+	res.DroppedPackets, res.DroppedBytes = net.Dropped()
+	res.DeliveredFraction = 1.0
+	if res.DroppedPackets > 0 {
+		res.DeliveredFraction = float64(res.DeliveredPackets) /
+			float64(res.DeliveredPackets+res.DroppedPackets)
+	}
+	if inj != nil {
+		res.Faults = FaultStats(inj.Stats)
+	}
 	res.BacklogBytes = net.HostBacklogBytes()
 	res.PeakQueueBytes = net.PeakQueueBytes()
 	res.PowerTrace = trace
@@ -432,8 +520,15 @@ func Run(cfg Config) (Result, error) {
 // error of the lowest-index failing configuration is returned and no
 // results are.
 func RunGrid(cfgs []Config, workers int) ([]Result, error) {
+	return RunGridContext(context.Background(), cfgs, workers)
+}
+
+// RunGridContext is RunGrid with cooperative cancellation: the shared
+// ctx cancels every in-flight simulation at its next epoch boundary,
+// and the first (lowest-index) error is returned.
+func RunGridContext(ctx context.Context, cfgs []Config, workers int) ([]Result, error) {
 	return parallel.Map(len(cfgs), workers, func(i int) (Result, error) {
-		return Run(cfgs[i])
+		return RunContext(ctx, cfgs[i])
 	})
 }
 
@@ -442,14 +537,19 @@ func RunGrid(cfgs []Config, workers int) ([]Result, error) {
 // latency the energy-proportional configuration costs — the paper's
 // Figure 9 metric.
 func RunBaselinePair(cfg Config) (ep, base Result, addedMean time.Duration, err error) {
-	base = Result{}
+	return RunBaselinePairContext(context.Background(), cfg)
+}
+
+// RunBaselinePairContext is RunBaselinePair with cooperative
+// cancellation through ctx.
+func RunBaselinePairContext(ctx context.Context, cfg Config) (ep, base Result, addedMean time.Duration, err error) {
 	bcfg := cfg
 	bcfg.Policy = PolicyBaseline
-	base, err = Run(bcfg)
+	base, err = RunContext(ctx, bcfg)
 	if err != nil {
 		return
 	}
-	ep, err = Run(cfg)
+	ep, err = RunContext(ctx, cfg)
 	if err != nil {
 		return
 	}
