@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json fmt fmt-check experiments smoke-faults
+.PHONY: all build test race vet bench bench-json fmt fmt-check experiments smoke-faults observe-demo
 
 all: build test
 
@@ -45,3 +45,15 @@ experiments:
 # injector end to end without the full experiment suite.
 smoke-faults:
 	$(GO) run ./cmd/experiments -only faultgrid -duration 1ms -warmup 200us -fault-mttr 100us
+
+# Short run with the full observability stack on: labeled metrics CSV,
+# utilization heatmap + histogram, per-link attribution, and one live
+# scrape of the inspection endpoint. Files land in /tmp/epnet-observe.
+observe-demo:
+	mkdir -p /tmp/epnet-observe
+	$(GO) run ./cmd/epsim -workload search -duration 1ms -warmup 200us \
+		-metrics-out /tmp/epnet-observe/metrics.csv \
+		-heatmap-out /tmp/epnet-observe/heatmap.csv \
+		-hist-out /tmp/epnet-observe/hist.csv \
+		-attribution -listen 127.0.0.1:0
+	@ls -l /tmp/epnet-observe

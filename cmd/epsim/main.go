@@ -52,6 +52,10 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the sampled metric time series to this file (CSV, or JSON Lines with a .jsonl extension)")
 	sampleInterval := flag.Duration("sample-interval", 0, "metrics sampling period (default: one epoch)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file (open in chrome://tracing or ui.perfetto.dev)")
+	heatmapOut := flag.String("heatmap-out", "", "write the per-link utilization x time heatmap CSV to this file")
+	histOut := flag.String("hist-out", "", "write the link-utilization histogram CSV (Fig 8 view) to this file")
+	attribution := flag.Bool("attribution", false, "print the per-link energy attribution (top consumers)")
+	listen := flag.String("listen", "", `serve live inspection HTTP on this address (e.g. ":9090" or "127.0.0.1:0"): /metrics, /snapshot, /debug/pprof/`)
 	flag.Parse()
 
 	// With -preset, only flags the user actually set override the
@@ -98,6 +102,19 @@ func main() {
 	apply("metrics-out", func() { cfg.MetricsOut = *metricsOut })
 	apply("sample-interval", func() { cfg.SampleInterval = *sampleInterval })
 	apply("trace-out", func() { cfg.TraceOut = *traceOut })
+	apply("heatmap-out", func() { cfg.HeatmapOut = *heatmapOut })
+	apply("hist-out", func() { cfg.HistOut = *histOut })
+	apply("attribution", func() { cfg.Attribution = *attribution })
+
+	if *listen != "" {
+		insp, addr, err := epnet.StartInspector(*listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "epsim:", err)
+			os.Exit(1)
+		}
+		cfg.Inspector = insp
+		fmt.Fprintf(os.Stderr, "epsim: inspector listening on http://%s\n", addr)
+	}
 
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "epsim:", err)
@@ -157,6 +174,26 @@ func main() {
 	}
 	fmt.Printf("asymmetry : %.2f  estimated power: %.0f W (%.1f J over the window)\n",
 		res.Asymmetry, res.EstimatedWatts, res.EnergyJoules)
+	if *attribution && len(res.Attribution) > 0 {
+		top := make([]epnet.LinkAttribution, len(res.Attribution))
+		copy(top, res.Attribution)
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].EnergyJoules != top[j].EnergyJoules {
+				return top[i].EnergyJoules > top[j].EnergyJoules
+			}
+			return top[i].Link < top[j].Link
+		})
+		limit := 10
+		if len(top) < limit {
+			limit = len(top)
+		}
+		fmt.Printf("attribution (top %d of %d channels by energy):\n", limit, len(top))
+		for _, la := range top[:limit] {
+			fmt.Printf("  %-16s %-10s util=%5.1f%% relpower=%5.1f%% energy=%.3f J pkts=%d drops=%d\n",
+				la.Link, la.Class, la.Utilization*100, la.RelPower*100,
+				la.EnergyJoules, la.Packets, la.Drops)
+		}
+	}
 	if *hist && len(res.LatencyCDF) > 0 {
 		fmt.Println("latency histogram (cumulative):")
 		var cum int64

@@ -43,7 +43,10 @@ func main() {
 	par := flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations per experiment (1 = serial; output is identical either way)")
 	metricsOut := flag.String("metrics-out", "", "per-simulation metric time series base path; each run gets a numeric suffix (telemetry.csv -> telemetry.000.csv)")
 	traceOut := flag.String("trace-out", "", "per-simulation Chrome trace base path, suffixed like -metrics-out")
+	heatmapOut := flag.String("heatmap-out", "", "per-simulation utilization heatmap CSV base path, suffixed like -metrics-out")
+	histOut := flag.String("hist-out", "", "per-simulation utilization histogram CSV base path, suffixed like -metrics-out")
 	sampleInterval := flag.Duration("sample-interval", 0, "metrics sampling period (default: one epoch)")
+	listen := flag.String("listen", "", `serve live inspection HTTP on this address (e.g. ":9090"); endpoints follow the most recently sampled simulation`)
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the harness to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	runtimeMetrics := flag.String("runtime-metrics", "", "dump the Go runtime/metrics snapshot at exit to this file")
@@ -64,11 +67,22 @@ func main() {
 	eval.FaultRate = *faultRate
 	eval.FaultMTTR = *faultMTTR
 	eval.Parallel = *par
-	if *metricsOut != "" || *traceOut != "" {
+	if *metricsOut != "" || *traceOut != "" || *heatmapOut != "" || *histOut != "" || *listen != "" {
 		eval.Telemetry = &epnet.TelemetryOpts{
 			MetricsOut:     *metricsOut,
 			TraceOut:       *traceOut,
+			HeatmapOut:     *heatmapOut,
+			HistOut:        *histOut,
 			SampleInterval: *sampleInterval,
+		}
+		if *listen != "" {
+			insp, addr, err := epnet.StartInspector(*listen)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			eval.Telemetry.Inspector = insp
+			fmt.Fprintf(os.Stderr, "experiments: inspector listening on http://%s\n", addr)
 		}
 	}
 

@@ -48,7 +48,10 @@ func main() {
 	par := flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations (1 = serial; output is identical either way)")
 	metricsOut := flag.String("metrics-out", "", "per-run metric time series base path; each row gets a numeric suffix (telemetry.csv -> telemetry.000.csv)")
 	traceOut := flag.String("trace-out", "", "per-run Chrome trace base path, suffixed like -metrics-out")
+	heatmapOut := flag.String("heatmap-out", "", "per-run utilization heatmap CSV base path, suffixed like -metrics-out")
+	histOut := flag.String("hist-out", "", "per-run utilization histogram CSV base path, suffixed like -metrics-out")
 	sampleInterval := flag.Duration("sample-interval", 0, "metrics sampling period (default: one epoch)")
+	listen := flag.String("listen", "", `serve live inspection HTTP on this address (e.g. ":9090"); endpoints follow the most recently sampled run`)
 	flag.Parse()
 
 	if *values == "" {
@@ -139,7 +142,17 @@ func main() {
 	telem := &epnet.TelemetryOpts{
 		MetricsOut:     *metricsOut,
 		TraceOut:       *traceOut,
+		HeatmapOut:     *heatmapOut,
+		HistOut:        *histOut,
 		SampleInterval: *sampleInterval,
+	}
+	if *listen != "" {
+		insp, addr, err := epnet.StartInspector(*listen)
+		if err != nil {
+			fail(err)
+		}
+		telem.Inspector = insp
+		fmt.Fprintf(os.Stderr, "sweep: inspector listening on http://%s\n", addr)
 	}
 	telem.Apply(cfgs)
 

@@ -193,6 +193,31 @@ type Config struct {
 	// check.
 	TraceOut string
 
+	// HeatmapOut, when non-empty, writes a utilization x time heatmap
+	// CSV at the end of the run: one row per inter-switch channel, one
+	// column per SampleInterval, each cell the channel's utilization
+	// over that interval — the per-link view behind the paper's Figs
+	// 8-13.
+	HeatmapOut string
+
+	// HistOut, when non-empty, writes a link-utilization histogram CSV
+	// (the paper's Fig 8 view): how often links sit at each utilization
+	// level, aggregated over all inter-switch channels and all sample
+	// intervals of the run.
+	HistOut string
+
+	// Attribution, when true, populates Result.Attribution with the
+	// per-channel energy/utilization breakdown. Off by default to keep
+	// Result compact at paper scale (thousands of channels).
+	Attribution bool
+
+	// Inspector, when non-nil, receives a Prometheus scrape body and a
+	// JSON per-entity snapshot at every sample tick, for live HTTP
+	// inspection of a running simulation (see NewInspector). Excluded
+	// from the Config's JSON form: it is runtime wiring, not a
+	// parameter.
+	Inspector *Inspector `json:"-"`
+
 	// FailLinks, when positive, abruptly powers off this many randomly
 	// chosen inter-switch link pairs FailAfter into the measurement
 	// window (no drain — the failure case of §1's failure-domain
@@ -368,7 +393,8 @@ func (c *Config) Validate() error {
 	if c.SampleInterval < 0 {
 		return fieldErr("SampleInterval", "must be >= 0, got %v", c.SampleInterval)
 	}
-	if c.MetricsOut != "" && c.SampleInterval == 0 {
+	if (c.MetricsOut != "" || c.HeatmapOut != "" || c.HistOut != "" || c.Inspector != nil) &&
+		c.SampleInterval == 0 {
 		c.SampleInterval = c.Epoch
 	}
 	if c.Duration <= 0 {
@@ -478,6 +504,40 @@ type Result struct {
 	// PowerTrace is the time series sampled every
 	// Config.PowerSampleEvery (empty when sampling is off).
 	PowerTrace []PowerSample
+
+	// Attribution is the per-channel energy/utilization breakdown over
+	// the measurement window, in wiring order (populated only when
+	// Config.Attribution is set). The EnergyJoules of all entries sum
+	// to Result.EnergyJoules: total fabric power is divided evenly
+	// across channels and each channel is charged its share scaled by
+	// its occupancy-weighted relative power under the measured profile.
+	Attribution []LinkAttribution
+}
+
+// LinkAttribution is one channel's slice of the run's energy and
+// traffic accounting.
+type LinkAttribution struct {
+	// Link is the channel's entity id, e.g. "s0p1-s1p0" or "h3-s0p0".
+	Link string `json:"link"`
+	// Class is the physical link class ("electrical", "optical").
+	Class string `json:"class"`
+	// Utilization is the channel's mean utilization over the window.
+	Utilization float64 `json:"util"`
+	// RelPower is the occupancy-weighted relative power under the
+	// measured profile.
+	RelPower float64 `json:"rel_power"`
+	// EnergyJoules is this channel's share of the network's energy.
+	EnergyJoules float64 `json:"energy_j"`
+	// TimeAtRate maps rate in Gb/s to seconds spent at that rate;
+	// OffSeconds is time spent powered off.
+	TimeAtRate RateShareMap `json:"time_at_rate_s"`
+	OffSeconds float64      `json:"off_s"`
+	// Bytes and Packets are the traffic carried over the channel's
+	// whole accounted life; Drops counts packets lost on it to
+	// injected faults.
+	Bytes   int64 `json:"bytes"`
+	Packets int64 `json:"packets"`
+	Drops   int64 `json:"drops"`
 }
 
 // FaultStats counts the fault events an injector executed during a run.

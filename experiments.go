@@ -48,7 +48,14 @@ type EvalConfig struct {
 type TelemetryOpts struct {
 	MetricsOut     string // base path for sampled time series ("" = off)
 	TraceOut       string // base path for Chrome trace files ("" = off)
+	HeatmapOut     string // base path for utilization heatmap CSVs ("" = off)
+	HistOut        string // base path for utilization histogram CSVs ("" = off)
 	SampleInterval time.Duration
+
+	// Inspector, when non-nil, is shared by every simulation of the
+	// evaluation: the live endpoints always serve the most recently
+	// sampled run.
+	Inspector *Inspector
 
 	seq int // simulations numbered so far
 }
@@ -60,20 +67,28 @@ func numberedPath(path string, n int) string {
 }
 
 // Apply stamps per-run output paths onto each configuration, in order.
-// It is a no-op on a nil receiver or when both base paths are empty.
+// It is a no-op on a nil receiver or when every output is disabled.
 func (t *TelemetryOpts) Apply(cfgs []Config) {
-	if t == nil || (t.MetricsOut == "" && t.TraceOut == "") {
+	if t == nil || (t.MetricsOut == "" && t.TraceOut == "" && t.HeatmapOut == "" &&
+		t.HistOut == "" && t.Inspector == nil) {
 		return
 	}
 	for i := range cfgs {
 		n := t.seq
 		t.seq++
 		cfgs[i].SampleInterval = t.SampleInterval
+		cfgs[i].Inspector = t.Inspector
 		if t.MetricsOut != "" {
 			cfgs[i].MetricsOut = numberedPath(t.MetricsOut, n)
 		}
 		if t.TraceOut != "" {
 			cfgs[i].TraceOut = numberedPath(t.TraceOut, n)
+		}
+		if t.HeatmapOut != "" {
+			cfgs[i].HeatmapOut = numberedPath(t.HeatmapOut, n)
+		}
+		if t.HistOut != "" {
+			cfgs[i].HistOut = numberedPath(t.HistOut, n)
 		}
 	}
 }

@@ -1,0 +1,119 @@
+package epnet
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+)
+
+// Inspector exposes a running simulation over HTTP: a Prometheus
+// text-format scrape of the telemetry registry at /metrics, a JSON
+// per-entity snapshot (link rates, power, queue depths, live outages)
+// at /snapshot, and net/http/pprof under /debug/pprof/.
+//
+// The engine thread renders both documents to bytes at every sampler
+// tick and publishes them with one atomic pointer swap; HTTP handlers
+// only ever read the latest published bytes. That keeps the
+// single-threaded simulation and the concurrent HTTP server decoupled:
+// no locks on the engine side, no torn reads on the server side. A
+// single Inspector may be shared by every run of a grid — each publish
+// is an internally consistent view of whichever run sampled last.
+type Inspector struct {
+	cur atomic.Pointer[inspection]
+}
+
+// inspection is one published (scrape, snapshot) pair.
+type inspection struct {
+	prom []byte
+	snap []byte
+}
+
+// NewInspector returns an Inspector with nothing published yet. Hand
+// it to Config.Inspector and serve Handler somewhere, or use
+// StartInspector to do both.
+func NewInspector() *Inspector {
+	return &Inspector{}
+}
+
+// publish atomically replaces the served documents. Called on the
+// engine thread at every sample.
+func (i *Inspector) publish(prom, snap []byte) {
+	i.cur.Store(&inspection{prom: prom, snap: snap})
+}
+
+// PrometheusText returns the latest published scrape body, or nil if
+// no run has sampled yet.
+func (i *Inspector) PrometheusText() []byte {
+	if p := i.cur.Load(); p != nil {
+		return p.prom
+	}
+	return nil
+}
+
+// SnapshotJSON returns the latest published per-entity snapshot, or
+// nil if no run has sampled yet.
+func (i *Inspector) SnapshotJSON() []byte {
+	if p := i.cur.Load(); p != nil {
+		return p.snap
+	}
+	return nil
+}
+
+// Handler returns the inspection mux: /, /metrics, /snapshot, and
+// /debug/pprof/.
+func (i *Inspector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "epnet inspector\n\n"+
+			"/metrics        Prometheus text-format scrape\n"+
+			"/snapshot       JSON per-entity state (links, switches, outages, power)\n"+
+			"/debug/pprof/   Go runtime profiles\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		body := i.PrometheusText()
+		if body == nil {
+			http.Error(w, "no sample published yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(body)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		body := i.SnapshotJSON()
+		if body == nil {
+			http.Error(w, "no sample published yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartInspector listens on addr (e.g. ":9090", or "127.0.0.1:0" for
+// an ephemeral port), serves the inspection endpoints in a background
+// goroutine, and returns the inspector plus the bound address. The
+// listener lives until the process exits — the usual lifetime for a
+// diagnostics endpoint on a CLI run.
+func StartInspector(addr string) (*Inspector, string, error) {
+	i := NewInspector()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("epnet: inspector listen: %w", err)
+	}
+	srv := &http.Server{Handler: i.Handler()}
+	go srv.Serve(ln)
+	return i, ln.Addr().String(), nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"epnet/internal/fabric"
 	"epnet/internal/link"
@@ -57,14 +58,66 @@ type Controller struct {
 	// each link was dark re-locking its CDR or retraining lanes.
 	Tracer *telemetry.Tracer
 
+	// Labeled retune counters, pre-resolved by RegisterMetrics and
+	// nil when telemetry is off (Inc on nil is a no-op). mUp/mDown
+	// split rate changes by direction; mDim attributes them to the
+	// topology dimension of the retuned port when the topology exposes
+	// one (flattened butterfly inter-switch ports).
+	mUp, mDown *telemetry.Counter
+	mDim       []*telemetry.Counter
+	dimOf      func(port int) int
+
 	started bool
 }
 
 // RegisterMetrics exposes the controller's counters to a telemetry
-// registry.
+// registry: the flat ctrl.reconfigs total plus labeled vectors
+// ctrl.retunes{dir=up|down} and — when the network's topology is a
+// flattened butterfly — ctrl.dim_retunes{dim=N} attributing rate
+// changes to topology dimensions. The counters are resolved to
+// handles here, off the epoch tick.
 func (c *Controller) RegisterMetrics(reg *telemetry.Registry) error {
-	return reg.GaugeFunc("ctrl.reconfigs",
-		func() float64 { return float64(c.Reconfigurations) })
+	if err := reg.GaugeFunc("ctrl.reconfigs",
+		func() float64 { return float64(c.Reconfigurations) }); err != nil {
+		return err
+	}
+	retunes := reg.CounterVec("ctrl.retunes", "dir")
+	var err error
+	if c.mUp, err = retunes.With("up"); err != nil {
+		return err
+	}
+	if c.mDown, err = retunes.With("down"); err != nil {
+		return err
+	}
+	if c.Net != nil {
+		if f, ok := c.Net.T.(*topo.FBFLY); ok && f.D > 0 {
+			dims := reg.CounterVec("ctrl.dim_retunes", "dim")
+			c.mDim = make([]*telemetry.Counter, f.D)
+			for d := range c.mDim {
+				if c.mDim[d], err = dims.With(strconv.Itoa(d)); err != nil {
+					return err
+				}
+			}
+			c.dimOf = f.PortDim
+		}
+	}
+	return nil
+}
+
+// noteRetune feeds the labeled retune counters for one channel's rate
+// change. All handles are nil-safe, so runs without telemetry pay one
+// nil test per actual reconfiguration (a cold path).
+func (c *Controller) noteRetune(ch *fabric.Chan, from, to link.Rate) {
+	if to > from {
+		c.mUp.Inc()
+	} else {
+		c.mDown.Inc()
+	}
+	if c.mDim != nil && ch.Src.Kind == topo.KindSwitch {
+		if d := c.dimOf(ch.Src.Port); d >= 0 && d < len(c.mDim) {
+			c.mDim[d].Inc()
+		}
+	}
 }
 
 // traceRetune emits the rate-change span for one channel. The category
@@ -193,14 +246,17 @@ func (c *Controller) tick(now sim.Time) {
 			// not counted as reconfiguring every epoch.
 			next = b.ClampRate(a.ClampRate(next))
 			if next != a.Rate() {
-				react := c.reactivationFor(a.Rate(), next)
+				fromA, fromB := a.Rate(), b.Rate()
+				react := c.reactivationFor(fromA, next)
 				if c.Tracer != nil {
-					c.traceRetune(pair[0], a.Rate(), next, now, react)
-					c.traceRetune(pair[1], b.Rate(), next, now, react)
+					c.traceRetune(pair[0], fromA, next, now, react)
+					c.traceRetune(pair[1], fromB, next, now, react)
 				}
 				a.SetRate(now, next, react)
 				b.SetRate(now, next, react)
 				c.Reconfigurations += 2
+				c.noteRetune(pair[0], fromA, next)
+				c.noteRetune(pair[1], fromB, next)
 			}
 			a.ResetEpoch(now)
 			b.ResetEpoch(now)
@@ -217,12 +273,14 @@ func (c *Controller) tick(now sim.Time) {
 			next := c.Policy.Decide(c.signalsFor(ch, now), l.Ladder())
 			next = l.ClampRate(next)
 			if next != l.Rate() {
-				react := c.reactivationFor(l.Rate(), next)
+				from := l.Rate()
+				react := c.reactivationFor(from, next)
 				if c.Tracer != nil {
-					c.traceRetune(ch, l.Rate(), next, now, react)
+					c.traceRetune(ch, from, next, now, react)
 				}
 				l.SetRate(now, next, react)
 				c.Reconfigurations++
+				c.noteRetune(ch, from, next)
 			}
 			l.ResetEpoch(now)
 		}

@@ -101,6 +101,14 @@ type Chan struct {
 	// were in flight when the channel died (see Packet.chEpoch).
 	failed    bool
 	failEpoch uint32
+
+	// Per-channel attribution. mTx is a pre-resolved labeled counter
+	// handle (nil when telemetry is off — Inc on nil is a branch and a
+	// return), so per-link packet counting costs the hot path nothing
+	// extra: no map lookups, no allocations. drops counts packets lost
+	// on this channel to injected faults.
+	mTx   *telemetry.Counter
+	drops int64
 }
 
 // takeCredits consumes n credits if available.
@@ -131,6 +139,9 @@ func (c *Chan) Failed() bool { return c.failed }
 // stable for the network's lifetime and doubles as the channel's trace
 // thread id.
 func (c *Chan) Index() int { return c.idx }
+
+// Drops returns packets lost on this channel to injected faults.
+func (c *Chan) Drops() int64 { return c.drops }
 
 // Network is a simulated network instance bound to an event engine.
 type Network struct {
@@ -190,6 +201,10 @@ type Network struct {
 	deadSwitch    []bool
 	droppedPkts   int64
 	droppedBytes  int64
+	// unattributedDrops counts drops with no channel context (the
+	// packet never crossed a channel), so per-channel drops plus this
+	// always reconciles exactly with droppedPkts.
+	unattributedDrops int64
 }
 
 // New builds a network over topology t with router r.
@@ -363,6 +378,7 @@ func (n *Network) deliverAcross(c *Chan, pkt *Packet, start, done sim.Time) {
 	pkt.HeadIn, pkt.TailIn = headIn, tailIn
 	pkt.ch = c
 	pkt.chEpoch = c.failEpoch
+	c.mTx.Inc()
 	switch c.Dst.Kind {
 	case topo.KindHost:
 		n.E.AtArg(tailIn, n.fnDeliver, pkt, 0)
@@ -474,6 +490,11 @@ func (n *Network) SwitchDead(sw int) bool {
 func (n *Network) dropPacket(p *Packet, now sim.Time, why string) {
 	n.droppedPkts++
 	n.droppedBytes += int64(p.Size)
+	if p.ch != nil {
+		p.ch.drops++
+	} else {
+		n.unattributedDrops++
+	}
 	if n.Tracer != nil {
 		n.Tracer.Instant("drop", "fault", telemetry.PIDFaults, 0, now,
 			fmt.Sprintf(`"pkt":%d,"src":%d,"dst":%d,"bytes":%d,"why":%q`,
@@ -488,6 +509,11 @@ func (n *Network) dropPacket(p *Packet, now sim.Time, why string) {
 
 // Dropped returns total packets and bytes lost to injected faults.
 func (n *Network) Dropped() (pkts, bytes int64) { return n.droppedPkts, n.droppedBytes }
+
+// UnattributedDrops returns drops that carried no channel context;
+// the sum of Chan.Drops over all channels plus this equals the total
+// dropped packet count.
+func (n *Network) UnattributedDrops() int64 { return n.unattributedDrops }
 
 // InjectedMessages returns the number of messages offered.
 func (n *Network) InjectedMessages() int64 { return n.injectedMsgs }

@@ -112,6 +112,28 @@ func (inj *Injector) PairAt(sw, port int) ([2]*fabric.Chan, bool) {
 // LinksDown returns the number of currently failed link pairs.
 func (inj *Injector) LinksDown() int { return len(inj.downAt) }
 
+// Outage describes one currently-failed link pair for live inspection.
+type Outage struct {
+	// Link is the failed pair's forward-channel entity id.
+	Link string
+	// Since is when the pair failed.
+	Since sim.Time
+}
+
+// Outages returns the currently failed link pairs in wiring order (a
+// deterministic order, unlike the downAt map), with their failure
+// times — the live view a snapshot endpoint exposes while repairs are
+// pending.
+func (inj *Injector) Outages() []Outage {
+	var out []Outage
+	for _, pr := range inj.pairs {
+		if since, down := inj.downAt[pr]; down {
+			out = append(out, Outage{Link: pr[0].Label(), Since: since})
+		}
+	}
+	return out
+}
+
 // Apply validates every event of sched against the network and
 // schedules it on the engine, offsets measured from start. Validation
 // errors (nonexistent link, off-ladder cap, bad switch index) are

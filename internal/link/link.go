@@ -494,6 +494,13 @@ func (c *Channel) busyUpTo(t sim.Time) sim.Time {
 	return b
 }
 
+// BusyTime returns the cumulative transmission (busy) time through
+// now, monotonically increasing over the channel's whole life — it is
+// deliberately NOT reset by ResetAccounting, so interval deltas taken
+// across the warmup boundary (the utilization heatmap's cells) stay
+// well defined.
+func (c *Channel) BusyTime(now sim.Time) sim.Time { return c.busyUpTo(now) }
+
 func min(a, b sim.Time) sim.Time {
 	if a < b {
 		return a

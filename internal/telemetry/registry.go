@@ -14,13 +14,18 @@
 // zero-allocation test).
 //
 // Metric names are stable and hierarchical, dot-separated from coarse
-// to fine: "net.delivered_pkts", "switch.3.p2.queue_bytes",
-// "link.s0p1-s1p0.rate_gbps". Registering the same name twice is an
-// error — collisions indicate two components fighting over one series.
+// to fine: "net.delivered_pkts". Per-entity series use labeled vectors
+// (CounterVec/GaugeVec): one family name plus key=value labels, e.g.
+// "link.rate_gbps{link=s0p1-s1p0}". Labels are joined with semicolons
+// in the flat identity string so CSV headers stay comma-free; the
+// Prometheus renderer re-emits them in standard {k="v",...} syntax.
+// Registering the same identity twice is an error — collisions
+// indicate two components fighting over one series.
 package telemetry
 
 import (
 	"fmt"
+	"strings"
 )
 
 // Counter is a monotonically increasing metric. The zero value is
@@ -76,43 +81,108 @@ func (g *Gauge) Value() float64 {
 	return g.v
 }
 
-// entry is one registered metric: a stable name plus a read function
-// evaluated at sampling time.
+// Label is one key=value dimension attached to a metric, e.g.
+// {Key: "link", Value: "s0p1-s1p0"}.
+type Label struct {
+	Key, Value string
+}
+
+// metricKind distinguishes how a registered scalar should be rendered
+// by format-aware exporters (the CSV sampler treats them all alike).
+type metricKind uint8
+
+const (
+	kindGauge metricKind = iota
+	kindCounter
+	// kindHistPart marks the .count/.sum scalars a Histogram registers
+	// for CSV sampling; the Prometheus renderer skips them because the
+	// histogram itself renders as a full _bucket/_sum/_count family.
+	kindHistPart
+)
+
+// entry is one registered metric: a stable identity (family name plus
+// labels) and a read function evaluated at sampling time.
 type entry struct {
-	name string
-	read func() float64
+	name   string // family name, no labels
+	labels []Label
+	id     string // rendered identity: name or name{k=v;k2=v2}
+	kind   metricKind
+	read   func() float64
 }
 
 // Registry holds named metrics in registration order. It is not safe
 // for concurrent use: like the simulation engine it serves, it is
 // single-threaded by design (each engine owns its own registry).
 type Registry struct {
-	names   map[string]bool
+	ids     map[string]bool
 	entries []entry
+	hists   []*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{names: make(map[string]bool)}
+	return &Registry{ids: make(map[string]bool)}
 }
 
-// register validates the name and appends the metric.
-func (r *Registry) register(name string, read func() float64) error {
+// identity renders the flat series identity used in CSV headers and
+// for collision detection. Labels are ;-joined so the result never
+// contains a comma: "name{k1=v1;k2=v2}".
+func identity(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// checkLabels rejects label keys/values that would corrupt the flat
+// identity encoding or the CSV/Prometheus output.
+func checkLabels(labels []Label) error {
+	for _, l := range labels {
+		if l.Key == "" {
+			return fmt.Errorf("telemetry: empty label key")
+		}
+		for _, s := range [2]string{l.Key, l.Value} {
+			if strings.ContainsAny(s, ",;{}=\"\n") {
+				return fmt.Errorf("telemetry: label %s=%s contains a reserved character", l.Key, l.Value)
+			}
+		}
+	}
+	return nil
+}
+
+// register validates the identity and appends the metric.
+func (r *Registry) register(name string, labels []Label, kind metricKind, read func() float64) error {
 	if name == "" {
 		return fmt.Errorf("telemetry: empty metric name")
 	}
-	if r.names[name] {
-		return fmt.Errorf("telemetry: metric %q already registered", name)
+	if err := checkLabels(labels); err != nil {
+		return err
 	}
-	r.names[name] = true
-	r.entries = append(r.entries, entry{name: name, read: read})
+	id := identity(name, labels)
+	if r.ids[id] {
+		return fmt.Errorf("telemetry: metric %q already registered", id)
+	}
+	r.ids[id] = true
+	r.entries = append(r.entries, entry{name: name, labels: labels, id: id, kind: kind, read: read})
 	return nil
 }
 
 // Counter registers and returns a new counter.
 func (r *Registry) Counter(name string) (*Counter, error) {
 	c := &Counter{}
-	if err := r.register(name, func() float64 { return float64(c.v) }); err != nil {
+	if err := r.register(name, nil, kindCounter, func() float64 { return float64(c.v) }); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -121,7 +191,7 @@ func (r *Registry) Counter(name string) (*Counter, error) {
 // Gauge registers and returns a new settable gauge.
 func (r *Registry) Gauge(name string) (*Gauge, error) {
 	g := &Gauge{}
-	if err := r.register(name, func() float64 { return g.v }); err != nil {
+	if err := r.register(name, nil, kindGauge, func() float64 { return g.v }); err != nil {
 		return nil, err
 	}
 	return g, nil
@@ -131,17 +201,18 @@ func (r *Registry) Gauge(name string) (*Gauge, error) {
 // sample — the usual form for exposing existing component state (queue
 // depths, link rates) without touching the component's hot path.
 func (r *Registry) GaugeFunc(name string, fn func() float64) error {
-	return r.register(name, fn)
+	return r.register(name, nil, kindGauge, fn)
 }
 
 // Len returns the number of registered metrics.
 func (r *Registry) Len() int { return len(r.entries) }
 
-// Names returns the metric names in registration order.
+// Names returns the metric identities in registration order. Labeled
+// series render as "name{k=v;k2=v2}" (comma-free, CSV-header safe).
 func (r *Registry) Names() []string {
 	out := make([]string, len(r.entries))
 	for i, e := range r.entries {
-		out[i] = e.name
+		out[i] = e.id
 	}
 	return out
 }

@@ -18,6 +18,12 @@ type Sampler struct {
 	reg      *Registry
 	interval sim.Time
 
+	// OnSample, if set before Start, is invoked after each row is
+	// captured (baseline, every tick, and the Finish sample). It runs
+	// on the engine thread, so it may read simulation state safely —
+	// the live-inspection publisher hangs off this hook.
+	OnSample func(now sim.Time)
+
 	names  []string
 	times  []sim.Time
 	rows   [][]float64
@@ -36,6 +42,11 @@ func NewSampler(reg *Registry, interval sim.Time) (*Sampler, error) {
 // Start locks in the registry's current metric set (metrics registered
 // later are not sampled), takes an immediate baseline sample, and
 // schedules ticks every interval while the next tick is <= until.
+//
+// The <= comparison plus Engine.RunUntil's fire-events-at-deadline
+// semantics guarantee a row at exactly until when the horizon is an
+// integer multiple of the interval — the final boundary sample is
+// never skipped (pinned by TestSamplerBoundaryRow).
 func (s *Sampler) Start(e *sim.Engine, until sim.Time) {
 	s.names = s.reg.Names()
 	s.sample(e.Now())
@@ -67,6 +78,9 @@ func (s *Sampler) sample(now sim.Time) {
 	s.times = append(s.times, now)
 	s.rows = append(s.rows, row)
 	s.lastAt = now
+	if s.OnSample != nil {
+		s.OnSample(now)
+	}
 }
 
 // Samples returns the number of rows collected.

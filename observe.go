@@ -1,6 +1,9 @@
 package epnet
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -16,32 +19,64 @@ import (
 	"epnet/internal/telemetry"
 )
 
-// observer wires a run's optional telemetry: the metrics sampler behind
-// Config.MetricsOut and the Chrome trace stream behind Config.TraceOut.
-// newObserver returns nil when both are disabled, so Run pays nothing
-// for observability it did not ask for.
+// latencyBucketsUs are the fixed upper bounds (microseconds) of the
+// packet-latency histogram registered as net.latency_us.
+var latencyBucketsUs = []float64{
+	1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
+}
+
+// utilBuckets are the upper bounds of the link-utilization histogram
+// (the paper's Fig 8 x-axis: twenty 5% bins).
+var utilBuckets = []float64{
+	0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50,
+	0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00,
+}
+
+// observer wires a run's optional telemetry: the metrics sampler
+// behind Config.MetricsOut, the Chrome trace stream behind
+// Config.TraceOut, the utilization heatmap and histogram behind
+// Config.HeatmapOut/HistOut, and the live-inspection publisher behind
+// Config.Inspector. newObserver returns nil when everything is
+// disabled, so Run pays nothing for observability it did not ask for.
 type observer struct {
 	cfg       Config
+	e         *sim.Engine
+	net       *fabric.Network
+	inj       *fault.Injector
+	reg       *telemetry.Registry
 	sampler   *telemetry.Sampler
+	heatmap   *telemetry.Heatmap
 	tracer    *telemetry.Tracer
 	traceFile *os.File
+	measured  *power.Meter
+	ideal     *power.Meter
+	snapBuf   bytes.Buffer
+	promBuf   bytes.Buffer
+	done      bool
 }
 
 // newObserver builds and starts the telemetry described by cfg. The
-// sampler takes its baseline immediately (at the engine's current time,
-// normally 0) and ticks until horizon; the tracer is attached to the
-// network and controller.
+// sampler takes its baseline immediately (at the engine's current
+// time, normally 0) and ticks until horizon; the tracer is attached
+// to the network and controller. On error, any trace file already
+// created is closed and removed from the observer's ownership.
 func newObserver(cfg Config, e *sim.Engine, net *fabric.Network,
 	ctrl *core.Controller, fr *routing.FBFLY, inj *fault.Injector,
-	ladder link.RateLadder, horizon sim.Time) (*observer, error) {
-	if cfg.MetricsOut == "" && cfg.TraceOut == "" {
+	ladder link.RateLadder, horizon sim.Time) (o *observer, err error) {
+	if cfg.MetricsOut == "" && cfg.TraceOut == "" && cfg.HeatmapOut == "" &&
+		cfg.HistOut == "" && cfg.Inspector == nil {
 		return nil, nil
 	}
-	o := &observer{cfg: cfg}
+	o = &observer{cfg: cfg, e: e, net: net, inj: inj}
+	defer func() {
+		if err != nil && o.traceFile != nil {
+			o.traceFile.Close()
+		}
+	}()
 	if cfg.TraceOut != "" {
-		f, err := os.Create(cfg.TraceOut)
-		if err != nil {
-			return nil, fmt.Errorf("epnet: creating trace output: %w", err)
+		f, ferr := os.Create(cfg.TraceOut)
+		if ferr != nil {
+			return nil, fmt.Errorf("epnet: creating trace output: %w", ferr)
 		}
 		o.traceFile = f
 		o.tracer = telemetry.NewTracer(f)
@@ -59,7 +94,19 @@ func newObserver(cfg Config, e *sim.Engine, net *fabric.Network,
 			inj.Tracer = o.tracer
 		}
 	}
-	if cfg.MetricsOut != "" {
+	if cfg.HeatmapOut != "" || cfg.HistOut != "" {
+		h, herr := telemetry.NewHeatmap(simTime(cfg.SampleInterval))
+		if herr != nil {
+			return nil, herr
+		}
+		for _, ch := range net.InterSwitchChannels() {
+			l := ch.L
+			h.AddRow(ch.Label(), l.BusyTime)
+		}
+		o.heatmap = h
+		h.Start(e, horizon)
+	}
+	if cfg.MetricsOut != "" || cfg.Inspector != nil {
 		reg := telemetry.NewRegistry()
 		if err := reg.GaugeFunc("sim.events_processed",
 			func() float64 { return float64(e.Processed()) }); err != nil {
@@ -91,43 +138,188 @@ func newObserver(cfg Config, e *sim.Engine, net *fabric.Network,
 		for _, ch := range net.Channels() {
 			chans = append(chans, ch.L)
 		}
-		for _, prof := range []power.Profile{
-			power.InfiniBandOptical(), power.NewIdeal(ladder.Max()),
-		} {
-			m := power.NewMeter(prof, chans)
+		o.measured = power.NewMeter(power.InfiniBandOptical(), chans)
+		o.ideal = power.NewMeter(power.NewIdeal(ladder.Max()), chans)
+		for _, m := range []*power.Meter{o.measured, o.ideal} {
 			if err := m.RegisterMetrics(reg, e.Now); err != nil {
 				return nil, err
 			}
 		}
-		s, err := telemetry.NewSampler(reg, simTime(cfg.SampleInterval))
-		if err != nil {
-			return nil, err
+		// Packet latency distribution, observed on the delivery path
+		// for post-warmup packets. The chained OnDeliver keeps Run's
+		// own latency recorder working unchanged.
+		hist, herr := reg.Histogram("net.latency_us", latencyBucketsUs)
+		if herr != nil {
+			return nil, herr
+		}
+		warmup := simTime(cfg.Warmup)
+		prev := net.OnDeliver
+		net.OnDeliver = func(p *fabric.Packet, now sim.Time) {
+			if prev != nil {
+				prev(p, now)
+			}
+			if p.Inject >= warmup {
+				hist.Observe((now - p.Inject).Microseconds())
+			}
+		}
+		o.reg = reg
+		s, serr := telemetry.NewSampler(reg, simTime(cfg.SampleInterval))
+		if serr != nil {
+			return nil, serr
 		}
 		o.sampler = s
+		if cfg.Inspector != nil {
+			s.OnSample = o.publish
+		}
 		s.Start(e, horizon)
 	}
 	return o, nil
 }
 
-// finish takes the final (possibly partial-interval) sample, writes the
-// metrics file, and terminates the trace stream. Safe on a nil
-// observer; call exactly once, after the engine has drained.
+// publish renders the scrape body and the per-entity snapshot on the
+// engine thread and hands copies to the inspector. Both documents are
+// pure functions of simulation state, so repeated seeded runs publish
+// byte-identical final documents.
+func (o *observer) publish(now sim.Time) {
+	o.promBuf.Reset()
+	o.reg.WritePrometheus(&o.promBuf)
+	o.snapBuf.Reset()
+	json.NewEncoder(&o.snapBuf).Encode(o.snapshot(now))
+	prom := make([]byte, o.promBuf.Len())
+	copy(prom, o.promBuf.Bytes())
+	snap := make([]byte, o.snapBuf.Len())
+	copy(snap, o.snapBuf.Bytes())
+	o.cfg.Inspector.publish(prom, snap)
+}
+
+// snapshot structures for the /snapshot JSON document. Field order is
+// fixed by the struct definitions, entity order by wiring order, so
+// the rendering is deterministic.
+type snapLink struct {
+	Link       string  `json:"link"`
+	RateGbps   float64 `json:"rate_gbps"`
+	State      string  `json:"state"`
+	Util       float64 `json:"util"`
+	QueueBytes int64   `json:"queue_bytes"`
+	TxPackets  int64   `json:"tx_pkts"`
+	Drops      int64   `json:"drops"`
+	Failed     bool    `json:"failed,omitempty"`
+}
+
+type snapSwitch struct {
+	ID         int   `json:"sw"`
+	RoutedPkts int64 `json:"routed_pkts"`
+	QueueBytes int64 `json:"queue_bytes"`
+	Dead       bool  `json:"dead,omitempty"`
+}
+
+type snapOutage struct {
+	Link    string  `json:"link"`
+	SinceUs float64 `json:"since_us"`
+	DownUs  float64 `json:"down_us"`
+}
+
+type snapshotDoc struct {
+	TUs      float64      `json:"t_us"`
+	Workload WorkloadKind `json:"workload"`
+	Policy   PolicyKind   `json:"policy"`
+	Seed     int64        `json:"seed"`
+	Power    struct {
+		Measured float64 `json:"measured"`
+		Ideal    float64 `json:"ideal"`
+	} `json:"power"`
+	Links    []snapLink   `json:"links"`
+	Switches []snapSwitch `json:"switches"`
+	Outages  []snapOutage `json:"outages"`
+}
+
+// snapshot assembles the per-entity state document at sim time now.
+func (o *observer) snapshot(now sim.Time) *snapshotDoc {
+	doc := &snapshotDoc{
+		TUs:      now.Microseconds(),
+		Workload: o.cfg.Workload,
+		Policy:   o.cfg.Policy,
+		Seed:     o.cfg.Seed,
+	}
+	doc.Power.Measured = o.measured.Relative(now)
+	doc.Power.Ideal = o.ideal.Relative(now)
+	isc := o.net.InterSwitchChannels()
+	doc.Links = make([]snapLink, 0, len(isc))
+	for _, ch := range isc {
+		doc.Links = append(doc.Links, snapLink{
+			Link:       ch.Label(),
+			RateGbps:   ch.L.Rate().GbpsF(),
+			State:      ch.L.State(now).String(),
+			Util:       ch.L.MeanUtilization(now),
+			QueueBytes: o.net.Switches[ch.Src.ID].QueueBytes(ch.Src.Port),
+			TxPackets:  ch.L.TotalPackets(),
+			Drops:      ch.Drops(),
+			Failed:     ch.Failed(),
+		})
+	}
+	radix := o.net.T.Radix()
+	doc.Switches = make([]snapSwitch, 0, len(o.net.Switches))
+	for i, s := range o.net.Switches {
+		var queued int64
+		for p := 0; p < radix; p++ {
+			queued += s.QueueBytes(p)
+		}
+		doc.Switches = append(doc.Switches, snapSwitch{
+			ID:         i,
+			RoutedPkts: s.RoutedPackets(),
+			QueueBytes: queued,
+			Dead:       o.net.SwitchDead(i),
+		})
+	}
+	doc.Outages = []snapOutage{}
+	if o.inj != nil {
+		for _, out := range o.inj.Outages() {
+			doc.Outages = append(doc.Outages, snapOutage{
+				Link:    out.Link,
+				SinceUs: out.Since.Microseconds(),
+				DownUs:  (now - out.Since).Microseconds(),
+			})
+		}
+	}
+	return doc
+}
+
+// finish takes the final (possibly partial-interval) samples, writes
+// the metrics/heatmap/histogram files, publishes the final inspection
+// documents, and terminates the trace stream. Safe on a nil observer
+// and idempotent: Run calls it on error paths too, so a canceled run
+// still flushes and closes everything it opened, and write failures
+// (including a tracer that latched an earlier disk-full error) are
+// all reported.
 func (o *observer) finish(now sim.Time) error {
-	if o == nil {
+	if o == nil || o.done {
 		return nil
 	}
+	o.done = true
+	var errs []error
 	if o.sampler != nil {
 		o.sampler.Finish(now)
-		f, err := os.Create(o.cfg.MetricsOut)
-		if err != nil {
-			return fmt.Errorf("epnet: creating metrics output: %w", err)
+		if o.cfg.MetricsOut != "" {
+			if err := writeFile(o.cfg.MetricsOut, o.writeSeries); err != nil {
+				errs = append(errs, fmt.Errorf("epnet: writing metrics: %w", err))
+			}
 		}
-		werr := o.writeSeries(f)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
+	}
+	if o.heatmap != nil {
+		o.heatmap.Finish(now)
+		if o.cfg.HeatmapOut != "" {
+			if err := writeFile(o.cfg.HeatmapOut, o.heatmap.WriteCSV); err != nil {
+				errs = append(errs, fmt.Errorf("epnet: writing heatmap: %w", err))
+			}
 		}
-		if werr != nil {
-			return fmt.Errorf("epnet: writing metrics: %w", werr)
+		if o.cfg.HistOut != "" {
+			hist, err := o.heatmap.UtilizationHistogram(utilBuckets)
+			if err == nil {
+				err = writeFile(o.cfg.HistOut, hist.WriteCSV)
+			}
+			if err != nil {
+				errs = append(errs, fmt.Errorf("epnet: writing utilization histogram: %w", err))
+			}
 		}
 	}
 	if o.tracer != nil {
@@ -136,10 +328,24 @@ func (o *observer) finish(now sim.Time) error {
 			terr = cerr
 		}
 		if terr != nil {
-			return fmt.Errorf("epnet: writing trace: %w", terr)
+			errs = append(errs, fmt.Errorf("epnet: writing trace: %w", terr))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
+}
+
+// writeFile creates path and streams write into it, reporting create,
+// write and close errors alike.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // writeSeries streams the sampled series in the format implied by the

@@ -42,7 +42,7 @@ func TestRunWritesMetricsCSV(t *testing.T) {
 	}
 	rateCol := -1
 	for i, name := range header {
-		if strings.HasSuffix(name, ".rate_gbps") {
+		if strings.HasPrefix(name, "link.rate_gbps{") {
 			rateCol = i
 			break
 		}

@@ -155,6 +155,30 @@ func WithChromeTrace(path string) Option {
 	return func(cfg *Config) { cfg.TraceOut = path }
 }
 
+// WithHeatmap writes the per-link utilization x time heatmap CSV to
+// path at the end of the run.
+func WithHeatmap(path string) Option {
+	return func(cfg *Config) { cfg.HeatmapOut = path }
+}
+
+// WithUtilHistogram writes the link-utilization histogram CSV (the
+// paper's Fig 8 view) to path at the end of the run.
+func WithUtilHistogram(path string) Option {
+	return func(cfg *Config) { cfg.HistOut = path }
+}
+
+// WithAttribution populates Result.Attribution with the per-channel
+// energy/utilization breakdown.
+func WithAttribution() Option {
+	return func(cfg *Config) { cfg.Attribution = true }
+}
+
+// WithInspector publishes live Prometheus scrapes and per-entity JSON
+// snapshots to insp at every sample tick (see StartInspector).
+func WithInspector(insp *Inspector) Option {
+	return func(cfg *Config) { cfg.Inspector = insp }
+}
+
 // WithPowerTrace samples instantaneous power into Result.PowerTrace at
 // the given interval.
 func WithPowerTrace(interval time.Duration) Option {

@@ -2,6 +2,7 @@ package epnet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"time"
@@ -321,16 +322,19 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
-	// Workload.
+	// Workload. From here on, every early return funnels through
+	// obs.finish so files the observer opened are flushed and closed,
+	// and any latched telemetry write error surfaces (finish is
+	// idempotent and nil-safe).
 	w, err := buildWorkload(cfg)
 	if err != nil {
-		return Result{}, err
+		return Result{}, errors.Join(err, obs.finish(e.Now()))
 	}
 	w.Start(e, net, horizon)
 
 	if inj != nil {
 		if err := scheduleFaults(cfg, e, inj, warmup, horizon); err != nil {
-			return Result{}, err
+			return Result{}, errors.Join(err, obs.finish(e.Now()))
 		}
 	}
 
@@ -383,7 +387,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	// state.
 	epoch := simTime(cfg.Epoch)
 	if err := advance(ctx, e, warmup, epoch); err != nil {
-		return Result{}, err
+		return Result{}, errors.Join(err, obs.finish(e.Now()))
 	}
 	for _, ch := range net.Channels() {
 		ch.L.ResetAccounting(e.Now())
@@ -392,7 +396,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		ctrl.Reconfigurations = 0
 	}
 	if err := advance(ctx, e, horizon, epoch); err != nil {
-		return Result{}, err
+		return Result{}, errors.Join(err, obs.finish(e.Now()))
 	}
 	if err := obs.finish(e.Now()); err != nil {
 		return Result{}, err
@@ -418,6 +422,19 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	measured := power.InfiniBandOptical()
 	copper := power.InfiniBandCopper()
 	ideal := power.NewIdeal(fcfg.Ladder.Max())
+	parts := power.DefaultPartPower()
+	fullWatts := float64(t.NumSwitches())*parts.SwitchChipWatts +
+		float64(t.NumHosts())*parts.NICWatts
+
+	// Optional per-channel attribution, charged under the same
+	// measured profile and part model as the aggregate estimate so the
+	// per-channel energies sum exactly to Result.EnergyJoules.
+	var attr *power.Attribution
+	if cfg.Attribution {
+		attr = power.NewAttribution(fullWatts, len(net.Channels()),
+			simTime(cfg.Duration), measured)
+	}
+
 	var pm, pi, util float64
 	classAcc := map[string]float64{}
 	classCnt := map[string]float64{}
@@ -427,7 +444,8 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		share.Add(occ)
 		pm += power.OccupancyPower(occ, measured)
 		pi += power.OccupancyPower(occ, ideal)
-		util += ch.L.MeanUtilization(now)
+		chUtil := ch.L.MeanUtilization(now)
+		util += chUtil
 
 		// Per-class breakdown: host channels are electrical; switch
 		// channels follow the topology's packaging classification.
@@ -441,6 +459,26 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		}
 		classAcc[class.String()] += power.OccupancyPower(occ, prof)
 		classCnt[class.String()]++
+
+		if attr != nil {
+			ce := attr.Add(ch.Label(), class.String(), occ, chUtil)
+			la := LinkAttribution{
+				Link:         ce.Name,
+				Class:        ce.Class,
+				Utilization:  ce.Utilization,
+				RelPower:     ce.RelPower,
+				EnergyJoules: ce.EnergyJ,
+				TimeAtRate:   make(RateShareMap, len(ce.TimeAtRate)),
+				OffSeconds:   ce.OffTime.Seconds(),
+				Bytes:        ch.L.TotalBytes(),
+				Packets:      ch.L.TotalPackets(),
+				Drops:        ch.Drops(),
+			}
+			for r, tt := range ce.TimeAtRate {
+				la.TimeAtRate[r.GbpsF()] = tt.Seconds()
+			}
+			res.Attribution = append(res.Attribution, la)
+		}
 	}
 	nch := float64(len(net.Channels()))
 	res.RelPowerMeasured = pm / nch
@@ -472,9 +510,6 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 
 	// Energy estimate: the simulated network's part power scaled by the
 	// measured relative power, integrated over the measurement window.
-	parts := power.DefaultPartPower()
-	fullWatts := float64(res.Switches)*parts.SwitchChipWatts +
-		float64(res.Hosts)*parts.NICWatts
 	res.EstimatedWatts = fullWatts * res.RelPowerMeasured
 	res.EnergyJoules = res.EstimatedWatts * simTime(cfg.Duration).Seconds()
 
