@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json fmt fmt-check experiments smoke-faults observe-demo
+.PHONY: all build test race vet bench bench-json bench-compare fmt fmt-check experiments smoke-faults observe-demo
 
 all: build test
 
@@ -28,7 +28,15 @@ bench:
 # Machine-readable benchmark results (JSON Lines on stdout), for
 # regression tracking: make bench-json > bench.jsonl
 bench-json:
-	$(GO) test -bench . -benchmem ./internal/sim/ ./internal/fabric/ ./internal/telemetry/ | $(GO) run ./cmd/benchjson
+	@$(GO) test -bench . -benchmem ./internal/sim/ ./internal/fabric/ ./internal/telemetry/ | $(GO) run ./cmd/benchjson
+
+# Diff current benchmark times against the checked-in baseline
+# (BENCH_seed.json, regenerate with: make bench-json > BENCH_seed.json).
+# Regressions beyond 10% ns/op are flagged in the report; the target
+# itself never fails, since cross-machine benchmark noise makes a hard
+# gate counterproductive — read the report.
+bench-compare:
+	@$(GO) test -bench . -benchmem ./internal/sim/ ./internal/fabric/ ./internal/telemetry/ | $(GO) run ./cmd/benchjson -compare BENCH_seed.json
 
 fmt:
 	gofmt -l -w .

@@ -10,14 +10,24 @@
 //
 //	go test -bench . -benchmem ./... | benchjson > bench.jsonl
 //
-// The JSON stream feeds regression tracking — e.g. asserting that the
-// fabric hot path stays at 0 allocs/op after a change.
+// With -compare, the stream is instead diffed against a checked-in
+// baseline (a JSON Lines file written by an earlier run):
+//
+//	go test -bench . -benchmem ./... | benchjson -compare BENCH_seed.json
+//
+// Each benchmark present in both runs is reported with its ns/op delta;
+// regressions beyond -threshold (default 10%) are flagged. The exit
+// status stays 0 — benchmark noise across machines makes a hard gate
+// counterproductive, so the report is advisory and CI runs it
+// report-only.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -65,20 +75,110 @@ func parseLine(line string) (Result, bool) {
 	return res, true
 }
 
-func main() {
-	sc := bufio.NewScanner(os.Stdin)
+// parseStream reads benchmark results from `go test -bench` text on r,
+// in input order.
+func parseStream(r io.Reader) ([]Result, error) {
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	enc := json.NewEncoder(os.Stdout)
+	var out []Result
 	for sc.Scan() {
 		if res, ok := parseLine(sc.Text()); ok {
-			if err := enc.Encode(res); err != nil {
-				fmt.Fprintln(os.Stderr, "benchjson:", err)
-				os.Exit(1)
-			}
+			out = append(out, res)
 		}
 	}
-	if err := sc.Err(); err != nil {
+	return out, sc.Err()
+}
+
+// readBaseline loads a JSON Lines baseline written by an earlier
+// benchjson run.
+func readBaseline(path string) (map[string]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := make(map[string]Result)
+	dec := json.NewDecoder(f)
+	for {
+		var res Result
+		if err := dec.Decode(&res); err == io.EOF {
+			return base, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		base[res.Name] = res
+	}
+}
+
+// compare prints a per-benchmark ns/op delta report against base,
+// flagging regressions beyond threshold (a fraction: 0.10 = 10%) and
+// any allocs/op growth. It returns the number of flagged regressions.
+func compare(w io.Writer, current []Result, base map[string]Result, threshold float64) int {
+	regressions := 0
+	seen := make(map[string]bool, len(current))
+	fmt.Fprintf(w, "%-52s %14s %14s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, cur := range current {
+		seen[cur.Name] = true
+		old, ok := base[cur.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-52s %14s %14.0f %9s  (new)\n", cur.Name, "-", cur.NsPerOp, "-")
+			continue
+		}
+		delta := 0.0
+		if old.NsPerOp > 0 {
+			delta = cur.NsPerOp/old.NsPerOp - 1
+		}
+		flag := ""
+		if delta > threshold {
+			flag = fmt.Sprintf("  REGRESSION (>%0.f%%)", threshold*100)
+			regressions++
+		}
+		if cur.AllocsPerOp > old.AllocsPerOp {
+			flag += fmt.Sprintf("  ALLOCS %d -> %d", old.AllocsPerOp, cur.AllocsPerOp)
+			if delta <= threshold {
+				regressions++
+			}
+		}
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %+8.1f%%%s\n",
+			cur.Name, old.NsPerOp, cur.NsPerOp, delta*100, flag)
+	}
+	for name := range base {
+		if !seen[name] {
+			fmt.Fprintf(w, "%-52s  (missing from current run)\n", name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed beyond the %.0f%% threshold\n", regressions, threshold*100)
+	} else {
+		fmt.Fprintf(w, "\nno regressions beyond the %.0f%% threshold\n", threshold*100)
+	}
+	return regressions
+}
+
+func main() {
+	baseline := flag.String("compare", "", "baseline JSON Lines file: print a ns/op delta report instead of JSON")
+	threshold := flag.Float64("threshold", 0.10, "regression threshold as a fraction of baseline ns/op")
+	flag.Parse()
+
+	current, err := parseStream(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		base, err := readBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		compare(os.Stdout, current, base, *threshold)
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, res := range current {
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	res, ok := parseLine("BenchmarkNetworkThroughput-8   860   1394 ns/op   117.45 MB/s   0 B/op   0 allocs/op")
@@ -34,5 +39,60 @@ func TestParseLine(t *testing.T) {
 	res, ok = parseLine("BenchmarkEngine 1000000 52.1 ns/op")
 	if !ok || res.NsPerOp != 52.1 || res.Iterations != 1000000 {
 		t.Errorf("minimal line: ok=%v res=%+v", ok, res)
+	}
+}
+
+// TestCompare exercises the baseline diff report: stable results, a
+// regression beyond threshold, an improvement, an allocation increase,
+// and benchmarks present on only one side.
+func TestCompare(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkStable-8":  {Name: "BenchmarkStable-8", NsPerOp: 100},
+		"BenchmarkSlower-8":  {Name: "BenchmarkSlower-8", NsPerOp: 100},
+		"BenchmarkFaster-8":  {Name: "BenchmarkFaster-8", NsPerOp: 100},
+		"BenchmarkAllocs-8":  {Name: "BenchmarkAllocs-8", NsPerOp: 100},
+		"BenchmarkRemoved-8": {Name: "BenchmarkRemoved-8", NsPerOp: 100},
+	}
+	current := []Result{
+		{Name: "BenchmarkStable-8", NsPerOp: 105},
+		{Name: "BenchmarkSlower-8", NsPerOp: 125},
+		{Name: "BenchmarkFaster-8", NsPerOp: 60},
+		{Name: "BenchmarkAllocs-8", NsPerOp: 100, AllocsPerOp: 3},
+		{Name: "BenchmarkNew-8", NsPerOp: 42},
+	}
+	var sb strings.Builder
+	regressions := compare(&sb, current, base, 0.10)
+	out := sb.String()
+	if regressions != 2 {
+		t.Fatalf("regressions = %d, want 2 (time + allocs)\n%s", regressions, out)
+	}
+	for _, want := range []string{
+		"REGRESSION", "ALLOCS 0 -> 3", "(new)", "missing from current run",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "BenchmarkStable-8 ") && strings.Contains(out, "Stable-8.*REGRESSION") {
+		t.Errorf("within-threshold drift flagged:\n%s", out)
+	}
+}
+
+// TestReadBaselineRoundTrip writes a JSON Lines stream and reads it
+// back through the baseline loader.
+func TestReadBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	data := `{"name":"BenchmarkA-8","iterations":10,"ns_per_op":123,"bytes_per_op":0,"allocs_per_op":0}
+{"name":"BenchmarkB-8","iterations":20,"ns_per_op":456,"bytes_per_op":8,"allocs_per_op":1}
+`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 2 || base["BenchmarkB-8"].NsPerOp != 456 || base["BenchmarkB-8"].AllocsPerOp != 1 {
+		t.Fatalf("baseline = %+v", base)
 	}
 }

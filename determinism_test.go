@@ -1,0 +1,106 @@
+package epnet
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// matrixCase is one cell of the sharding determinism matrix: a topology
+// under active link retuning, optionally riding out seeded-random
+// faults.
+type matrixCase struct {
+	name   string
+	faults bool
+	mutate func(*Config)
+}
+
+// runMatrixCell executes one configuration at the given shard count,
+// returning the Result and the raw bytes of the sampled metrics series.
+// The metrics file exercises the whole telemetry path — registry
+// closures, merged latency histogram view, sampler — under sharding.
+func runMatrixCell(t *testing.T, mc matrixCase, shards int, dir string) (Result, []byte) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Workload = WorkloadUniform
+	cfg.Policy = PolicyHalveDouble
+	cfg.Independent = true
+	cfg.Warmup = 50 * time.Microsecond
+	cfg.Duration = 300 * time.Microsecond
+	cfg.Seed = 7
+	cfg.Shards = shards
+	cfg.Attribution = true
+	cfg.MetricsOut = filepath.Join(dir, "metrics.csv")
+	if mc.faults {
+		cfg.FaultRate = 20 // expected events per simulated ms
+	}
+	mc.mutate(&cfg)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("%s shards=%d: %v", mc.name, shards, err)
+	}
+	series, err := os.ReadFile(cfg.MetricsOut)
+	if err != nil {
+		t.Fatalf("%s shards=%d: %v", mc.name, shards, err)
+	}
+	return res, series
+}
+
+// TestShardDeterminismMatrix is the end-to-end half of the determinism
+// guarantee: across topologies, with link retuning always on and with
+// and without a seeded fault process, every shard count must reproduce
+// the serial run's Result and its sampled telemetry series byte for
+// byte. Only Config.Shards itself may differ.
+func TestShardDeterminismMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix of full runs")
+	}
+	topos := []matrixCase{
+		{name: "fbfly", mutate: func(c *Config) {}},
+		{name: "fattree", mutate: func(c *Config) {
+			c.Topology = TopoFatTree
+			c.K, c.C = 6, 6
+		}},
+		{name: "clos3", mutate: func(c *Config) {
+			c.Topology = TopoClos3
+			c.K = 4
+		}},
+	}
+	for _, base := range topos {
+		for _, faults := range []bool{false, true} {
+			mc := base
+			mc.faults = faults
+			name := mc.name + "/clean"
+			if faults {
+				name = mc.name + "/faults"
+			}
+			t.Run(name, func(t *testing.T) {
+				want, wantSeries := runMatrixCell(t, mc, 1, t.TempDir())
+				if want.DeliveredPackets == 0 {
+					t.Fatal("serial run delivered nothing")
+				}
+				if faults && want.Faults.Total() == 0 {
+					t.Fatal("fault case injected no faults")
+				}
+				for _, shards := range []int{2, 4, 8} {
+					got, gotSeries := runMatrixCell(t, mc, shards, t.TempDir())
+					// The recorded Config legitimately differs in the
+					// shard count and the per-run temp output path;
+					// normalize both before the deep compare.
+					got.Config.Shards = want.Config.Shards
+					got.Config.MetricsOut = want.Config.MetricsOut
+					if !reflect.DeepEqual(want, got) {
+						t.Errorf("shards=%d: Result diverges from serial\nserial: %+v\nshards: %+v",
+							shards, want, got)
+					}
+					if string(wantSeries) != string(gotSeries) {
+						t.Errorf("shards=%d: metrics series diverges from serial (%d vs %d bytes)",
+							shards, len(wantSeries), len(gotSeries))
+					}
+				}
+			})
+		}
+	}
+}

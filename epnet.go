@@ -166,6 +166,16 @@ type Config struct {
 	// Seed makes the run reproducible.
 	Seed int64
 
+	// Shards, when > 1, partitions the fabric's switches (with their
+	// attached hosts) across this many workers that advance in lockstep
+	// conservative time windows bounded by the minimum cross-shard link
+	// latency, exchanging boundary events at window barriers. Results
+	// are byte-identical to the serial run for the same seed — sharding
+	// trades nothing but wall-clock time. 0 or 1 selects the serial
+	// engine (the default); the count is capped at the switch count.
+	// Incompatible with TraceOut (the trace stream is single-writer).
+	Shards int
+
 	// MaxPacket is the segmentation size (default 2048 bytes).
 	MaxPacket int
 
@@ -408,6 +418,15 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxPacket < 64 {
 		return fieldErr("MaxPacket", "%d below the 64-byte minimum", c.MaxPacket)
+	}
+	if c.Shards < 0 {
+		return fieldErr("Shards", "must be >= 0, got %d", c.Shards)
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards > 1 && c.TraceOut != "" {
+		return fieldErr("TraceOut", "packet tracing requires the serial engine (Shards <= 1)")
 	}
 	return nil
 }

@@ -27,6 +27,12 @@ type EvalConfig struct {
 	FaultRate float64
 	FaultMTTR time.Duration
 
+	// Shards partitions every simulation of the evaluation across this
+	// many lockstep workers (see Config.Shards). Results stay
+	// byte-identical to the serial engine, so figures and tables are
+	// unchanged; only wall-clock time moves. 0/1 = serial.
+	Shards int
+
 	// Parallel is the number of simulations run concurrently within one
 	// experiment (each on its own engine): < 1 means one per CPU, 1
 	// forces serial execution. Results are identical either way — see
@@ -110,6 +116,7 @@ func (e EvalConfig) base() Config {
 		WithShape(e.K, e.N, e.C),
 		WithWindow(e.Warmup, e.Duration),
 		WithSeed(e.Seed),
+		WithShards(e.Shards),
 		WithFaultSchedule(e.Faults),
 		WithFaultRate(e.FaultRate, e.FaultMTTR))
 }

@@ -17,6 +17,14 @@ import (
 // Reactivation penalty. Decisions are purely local to each link — the
 // property that makes this mechanism a natural fit for the flattened
 // butterfly, whose routing decisions are local too (§3.2).
+//
+// Sharded execution contract: the controller's epoch events run on the
+// control engine (fabric.Network.E), which the shard coordinator only
+// advances at window barriers, when every shard worker is parked at the
+// same instant. The controller may therefore read and reconfigure any
+// channel without synchronization — it never races a shard — and the
+// barrier schedule is a pure function of event timestamps, so epoch
+// decisions land at identical times at every shard count.
 type Controller struct {
 	Net    *fabric.Network
 	Policy Policy

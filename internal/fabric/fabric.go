@@ -14,7 +14,6 @@ package fabric
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"epnet/internal/link"
 	"epnet/internal/routing"
@@ -39,6 +38,12 @@ type Config struct {
 	CreditDelay sim.Time
 	// Seed drives adaptive-routing tie-breaking.
 	Seed int64
+
+	// Shards splits the fabric across this many parallel event engines
+	// advancing in conservative lockstep windows (see shard.go). 0 or 1
+	// is the serial engine. Results are byte-identical across shard
+	// counts for the same seed; Shards is capped at the switch count.
+	Shards int
 
 	// CostBusyTime, when true, augments the adaptive routing cost with
 	// the byte-equivalent of each candidate channel's remaining busy or
@@ -81,6 +86,12 @@ func (c *Config) validate() error {
 	if c.RoutingDelay < 0 || c.WireDelay < 0 || c.CreditDelay < 0 {
 		return fmt.Errorf("fabric: negative delay")
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("fabric: negative Shards %d", c.Shards)
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
 	return nil
 }
 
@@ -94,6 +105,14 @@ type Chan struct {
 	waiting bool  // the sender is blocked awaiting credits
 	net     *Network
 	idx     int // position in Network.chans; trace thread id
+
+	// Shard wiring. Events a channel's traffic generates are keyed by
+	// the scheduling entity's lane (src for arrivals/deliveries, dst for
+	// the credit return) and land on the receiving entity's engine —
+	// directly when sameShard, via the staging buffers otherwise.
+	srcRT, dstRT     *shardRT
+	srcLane, dstLane *sim.Lane
+	sameShard        bool
 
 	// Fault state. failed marks a hard failure (distinct from a planned
 	// dynamic-topology PowerOff); failEpoch increments on every failure
@@ -156,9 +175,15 @@ type Network struct {
 	chans []*Chan    // every directed channel
 	pairs [][2]*Chan // both directions of each physical link
 
-	rng *rand.Rand
+	// Shard runtimes (one for a serial network, holding the hot-path
+	// accounting either way) and the window coordinator (nil serially).
+	rts   []*shardRT
+	group *ShardGroup
 
-	// OnDeliver, when set, observes every delivered packet.
+	// OnDeliver, when set, observes every delivered packet. On a sharded
+	// network it fires on the shard owning the destination host (see
+	// HostShard) — shards run concurrently, so the callback must keep
+	// per-shard state.
 	OnDeliver func(p *Packet, now sim.Time)
 
 	// Tracer, when set, receives packet-lifetime spans (inject ->
@@ -168,16 +193,9 @@ type Network struct {
 	Tracer *telemetry.Tracer
 
 	// OnMessageDone, when set before any injection, observes every
-	// completed message (all of its packets delivered).
+	// completed message (all of its packets delivered). Fires on the
+	// destination host's shard, like OnDeliver.
 	OnMessageDone func(msgID int64, src, dst int, inject, done sim.Time)
-	msgRemaining  map[int64]int
-	msgInject     map[int64]sim.Time
-
-	// pktFree recycles delivered packets. A per-network free list (not a
-	// sync.Pool) keeps recycling deterministic: each engine is
-	// single-threaded, and steady-state simulation allocates no packets
-	// once the list reaches the in-flight high-water mark.
-	pktFree []*Packet
 
 	// Pre-bound ArgEvent handlers for the per-packet events, created
 	// once in New so scheduling them never allocates a closure.
@@ -185,13 +203,14 @@ type Network struct {
 	fnArrive  sim.ArgEvent
 	fnCredit  sim.ArgEvent
 
-	nextPktID      int64
-	nextMsgID      int64
-	injectedPkts   int64
-	injectedMsgs   int64
-	deliveredPkts  int64
-	injectedBytes  int64
-	deliveredBytes int64
+	// Injection-side accounting. Injection happens on the control plane
+	// only (single-threaded even when sharded), so these stay global;
+	// delivery/drop counters live on the shard runtimes.
+	nextPktID     int64
+	nextMsgID     int64
+	injectedPkts  int64
+	injectedMsgs  int64
+	injectedBytes int64
 
 	// Fault accounting. faultsEnabled gates every fault check on the
 	// packet path, so runs without an injector execute the exact same
@@ -199,15 +218,13 @@ type Network struct {
 	// aside) and choosePort keeps its fail-loudly panics.
 	faultsEnabled bool
 	deadSwitch    []bool
-	droppedPkts   int64
-	droppedBytes  int64
-	// unattributedDrops counts drops with no channel context (the
-	// packet never crossed a channel), so per-channel drops plus this
-	// always reconciles exactly with droppedPkts.
-	unattributedDrops int64
 }
 
-// New builds a network over topology t with router r.
+// New builds a network over topology t with router r. With
+// cfg.Shards > 1, e becomes the control engine: it carries everything
+// scheduled through Network.E (workloads, controllers, fault injection,
+// sampling) while per-shard engines carry the data plane; drive the run
+// with Network.RunUntil (or Sharding) rather than e.Run.
 func New(e *sim.Engine, t topo.Topology, r routing.Router, cfg Config) (*Network, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -217,18 +234,24 @@ func New(e *sim.Engine, t topo.Topology, r routing.Router, cfg Config) (*Network
 		T:   t,
 		R:   r,
 		Cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if err := n.buildShards(e, cfg.Shards); err != nil {
+		return nil, err
 	}
 	n.fnDeliver = n.deliverEvent
 	n.fnArrive = n.arriveEvent
 	n.fnCredit = n.creditEvent
+	// Lane IDs are allocated identically regardless of shard count:
+	// hosts first, then switches, so event keys — and with them the
+	// canonical execution order — do not depend on the partition.
 	n.Switches = make([]*Switch, t.NumSwitches())
 	for sw := range n.Switches {
-		n.Switches[sw] = newSwitch(n, sw, t.Radix())
+		n.Switches[sw] = newSwitch(n, sw, t.Radix(), uint64(1+t.NumHosts()+sw))
 	}
 	n.Hosts = make([]*Host, t.NumHosts())
 	for h := range n.Hosts {
-		n.Hosts[h] = newHost(n, h)
+		sw, _ := t.HostAttachment(h)
+		n.Hosts[h] = newHost(n, h, uint64(1+h), n.switchShard(sw))
 	}
 
 	// Wire channels: host attachments first, then inter-switch links.
@@ -281,8 +304,21 @@ func (n *Network) newChan(src, dst topo.Endpoint, credits int64) *Chan {
 		net:     n,
 		idx:     len(n.chans),
 	}
+	c.srcRT, c.srcLane = n.endpointRT(src)
+	c.dstRT, c.dstLane = n.endpointRT(dst)
+	c.sameShard = c.srcRT == c.dstRT
 	n.chans = append(n.chans, c)
 	return c
+}
+
+// endpointRT resolves an endpoint to its owning shard runtime and lane.
+func (n *Network) endpointRT(ep topo.Endpoint) (*shardRT, *sim.Lane) {
+	if ep.Kind == topo.KindHost {
+		h := n.Hosts[ep.ID]
+		return h.rt, &h.lane
+	}
+	s := n.Switches[ep.ID]
+	return s.rt, &s.lane
 }
 
 // Channels returns every directed channel.
@@ -330,12 +366,15 @@ func (n *Network) InjectMessage(src, dst, size int) {
 			fmt.Sprintf(`"msg":%d,"dst":%d,"bytes":%d`, n.nextMsgID, dst, size))
 	}
 	if n.OnMessageDone != nil {
-		if n.msgRemaining == nil {
-			n.msgRemaining = make(map[int64]int)
-			n.msgInject = make(map[int64]sim.Time)
+		// Completion is observed at the destination host, so the
+		// tracking entry lives on its shard.
+		drt := n.Hosts[dst].rt
+		if drt.msgRemaining == nil {
+			drt.msgRemaining = make(map[int64]int)
+			drt.msgInject = make(map[int64]sim.Time)
 		}
-		n.msgRemaining[n.nextMsgID] = n.PacketsPerMessage(size)
-		n.msgInject[n.nextMsgID] = now
+		drt.msgRemaining[n.nextMsgID] = n.PacketsPerMessage(size)
+		drt.msgInject[n.nextMsgID] = now
 	}
 	for off := 0; off < size; off += n.Cfg.MaxPacket {
 		sz := n.Cfg.MaxPacket
@@ -343,7 +382,7 @@ func (n *Network) InjectMessage(src, dst, size int) {
 			sz = size - off
 		}
 		n.nextPktID++
-		p := n.allocPacket()
+		p := n.allocPacket(h.rt)
 		*p = Packet{ID: n.nextPktID, MsgID: n.nextMsgID, Src: src, Dst: dst,
 			Size: sz, Inject: now}
 		h.q.push(p)
@@ -354,19 +393,23 @@ func (n *Network) InjectMessage(src, dst, size int) {
 	h.pump(now)
 }
 
-// allocPacket takes a packet from the free list, or allocates one.
-func (n *Network) allocPacket() *Packet {
-	if len(n.pktFree) == 0 {
+// allocPacket takes a packet from a shard's free list, or allocates
+// one. Per-shard lists (not a sync.Pool) keep recycling deterministic
+// and lock-free: a list is touched only by its shard's worker or by the
+// quiescent-time control plane, and steady-state simulation allocates no
+// packets once the lists reach the in-flight high-water mark.
+func (n *Network) allocPacket(rt *shardRT) *Packet {
+	if len(rt.pktFree) == 0 {
 		return new(Packet)
 	}
-	p := n.pktFree[len(n.pktFree)-1]
-	n.pktFree = n.pktFree[:len(n.pktFree)-1]
+	p := rt.pktFree[len(rt.pktFree)-1]
+	rt.pktFree = rt.pktFree[:len(rt.pktFree)-1]
 	return p
 }
 
-// freePacket returns a delivered packet to the free list.
-func (n *Network) freePacket(p *Packet) {
-	n.pktFree = append(n.pktFree, p)
+// freePacket returns a delivered packet to the executing shard's list.
+func (n *Network) freePacket(rt *shardRT, p *Packet) {
+	rt.pktFree = append(rt.pktFree, p)
 }
 
 // deliverAcross moves pkt over channel c: it was transmitted during
@@ -379,11 +422,16 @@ func (n *Network) deliverAcross(c *Chan, pkt *Packet, start, done sim.Time) {
 	pkt.ch = c
 	pkt.chEpoch = c.failEpoch
 	c.mTx.Inc()
-	switch c.Dst.Kind {
-	case topo.KindHost:
-		n.E.AtArg(tailIn, n.fnDeliver, pkt, 0)
-	case topo.KindSwitch:
-		n.E.AtArg(headIn+n.Cfg.RoutingDelay, n.fnArrive, pkt, 0)
+	at, fn := tailIn, n.fnDeliver
+	if c.Dst.Kind == topo.KindSwitch {
+		at, fn = headIn+n.Cfg.RoutingDelay, n.fnArrive
+	}
+	// Keyed on the sender's lane either way; a cross-shard hop stages
+	// the event (with its key pre-drawn) for the next window barrier.
+	if c.sameShard {
+		c.dstRT.eng.AtArgLane(at, c.srcLane, fn, pkt, 0)
+	} else {
+		c.srcRT.stageTo(c.dstRT, at, c.srcLane.NextKey(), fn, pkt, 0)
 	}
 }
 
@@ -391,7 +439,7 @@ func (n *Network) deliverAcross(c *Chan, pkt *Packet, start, done sim.Time) {
 func (n *Network) deliverEvent(now sim.Time, arg any, _ int64) {
 	p := arg.(*Packet)
 	if n.faultsEnabled && (p.ch.failed || p.ch.failEpoch != p.chEpoch) {
-		n.dropPacket(p, now, "in-flight on failed channel")
+		n.dropPacket(p.ch.dstRT, p, now, "in-flight on failed channel")
 		return
 	}
 	n.Hosts[p.Dst].deliver(p, now)
@@ -408,10 +456,15 @@ func (n *Network) arriveEvent(now sim.Time, arg any, _ int64) {
 	// Return the credit even for packets about to be dropped: the
 	// upstream pool mirrors the input buffer, which the dead arrival no
 	// longer occupies. This keeps every pool exactly full once traffic
-	// drains, failures or not.
-	n.E.AtArg(now+n.Cfg.CreditDelay, n.fnCredit, ch, int64(p.Size))
+	// drains, failures or not. The credit mutates src-side channel state,
+	// so it executes on the src shard, keyed by this (dst) switch's lane.
+	if ch.sameShard {
+		ch.srcRT.eng.AtArgLane(now+n.Cfg.CreditDelay, ch.dstLane, n.fnCredit, ch, int64(p.Size))
+	} else {
+		ch.dstRT.stageTo(ch.srcRT, now+n.Cfg.CreditDelay, ch.dstLane.NextKey(), n.fnCredit, ch, int64(p.Size))
+	}
 	if n.faultsEnabled && (ch.failed || ch.failEpoch != p.chEpoch) {
-		n.dropPacket(p, now, "in-flight on failed channel")
+		n.dropPacket(ch.dstRT, p, now, "in-flight on failed channel")
 		return
 	}
 	n.Switches[ch.Dst.ID].arrive(p, now)
@@ -484,16 +537,19 @@ func (n *Network) SwitchDead(sw int) bool {
 	return n.faultsEnabled && n.deadSwitch[sw]
 }
 
-// dropPacket accounts for and recycles a packet lost to a fault. The
-// packet's message can never complete, so its completion tracking is
-// torn down.
-func (n *Network) dropPacket(p *Packet, now sim.Time, why string) {
-	n.droppedPkts++
-	n.droppedBytes += int64(p.Size)
+// dropPacket accounts for and recycles a packet lost to a fault, on the
+// shard whose event is executing (rt). The packet's message can never
+// complete, so its completion tracking is torn down — immediately when
+// the destination host shares the shard, at the next window barrier
+// otherwise (the entry is inert either way: with one packet lost, the
+// remaining-count can never reach zero).
+func (n *Network) dropPacket(rt *shardRT, p *Packet, now sim.Time, why string) {
+	rt.droppedPkts++
+	rt.droppedBytes += int64(p.Size)
 	if p.ch != nil {
 		p.ch.drops++
 	} else {
-		n.unattributedDrops++
+		rt.unattributedDrops++
 	}
 	if n.Tracer != nil {
 		n.Tracer.Instant("drop", "fault", telemetry.PIDFaults, 0, now,
@@ -501,19 +557,37 @@ func (n *Network) dropPacket(p *Packet, now sim.Time, why string) {
 				p.ID, p.Src, p.Dst, p.Size, why))
 	}
 	if n.OnMessageDone != nil {
-		delete(n.msgRemaining, p.MsgID)
-		delete(n.msgInject, p.MsgID)
+		drt := n.Hosts[p.Dst].rt
+		if drt == rt {
+			delete(drt.msgRemaining, p.MsgID)
+			delete(drt.msgInject, p.MsgID)
+		} else {
+			rt.msgDead[drt.id] = append(rt.msgDead[drt.id], p.MsgID)
+		}
 	}
-	n.freePacket(p)
+	n.freePacket(rt, p)
 }
 
 // Dropped returns total packets and bytes lost to injected faults.
-func (n *Network) Dropped() (pkts, bytes int64) { return n.droppedPkts, n.droppedBytes }
+func (n *Network) Dropped() (pkts, bytes int64) {
+	var p, b int64
+	for _, rt := range n.rts {
+		p += rt.droppedPkts
+		b += rt.droppedBytes
+	}
+	return p, b
+}
 
 // UnattributedDrops returns drops that carried no channel context;
 // the sum of Chan.Drops over all channels plus this equals the total
 // dropped packet count.
-func (n *Network) UnattributedDrops() int64 { return n.unattributedDrops }
+func (n *Network) UnattributedDrops() int64 {
+	var total int64
+	for _, rt := range n.rts {
+		total += rt.unattributedDrops
+	}
+	return total
+}
 
 // InjectedMessages returns the number of messages offered.
 func (n *Network) InjectedMessages() int64 { return n.injectedMsgs }
@@ -528,7 +602,14 @@ func (n *Network) PacketsPerMessage(size int) int {
 func (n *Network) Injected() (pkts, bytes int64) { return n.injectedPkts, n.injectedBytes }
 
 // Delivered returns total delivered packets and bytes.
-func (n *Network) Delivered() (pkts, bytes int64) { return n.deliveredPkts, n.deliveredBytes }
+func (n *Network) Delivered() (pkts, bytes int64) {
+	var p, b int64
+	for _, rt := range n.rts {
+		p += rt.deliveredPkts
+		b += rt.deliveredBytes
+	}
+	return p, b
+}
 
 // HostBacklogBytes returns the bytes queued at source hosts — growth
 // over time means the network is not keeping up with offered load.
@@ -543,7 +624,9 @@ func (n *Network) HostBacklogBytes() int64 {
 // InFlightPackets returns injected minus delivered (and dropped)
 // packets.
 func (n *Network) InFlightPackets() int64 {
-	return n.injectedPkts - n.deliveredPkts - n.droppedPkts
+	dp, _ := n.Delivered()
+	xp, _ := n.Dropped()
+	return n.injectedPkts - dp - xp
 }
 
 // NumHosts returns the number of hosts (satisfies traffic.Target).

@@ -1,0 +1,419 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"epnet/internal/sim"
+)
+
+// This file implements intra-run parallelism: the fabric's switches (and
+// their attached hosts, channels, and per-entity accounting) are
+// partitioned into shards, each owning a private sim.Engine, and all
+// shards advance in lockstep conservative time windows bounded by the
+// minimum cross-shard channel latency (the lookahead). Events that cross
+// a shard boundary are appended to per-pair staging buffers and drained
+// onto the destination heap at the next window barrier.
+//
+// Determinism: every data-plane event carries an ordering key drawn from
+// its source entity's sim.Lane at scheduling time, in both serial and
+// sharded mode. Within one timestamp, every engine executes events in
+// ascending key order, so the per-entity event order — and therefore
+// every per-entity state transition — is a pure function of the model,
+// not of how entities are spread over engines. Staged events carry their
+// precomputed keys across the barrier, so drain order is irrelevant.
+// The result: a sharded run is byte-identical to the serial run.
+//
+// Single-writer discipline (what makes windows lock-free):
+//   - switch/host state, lanes, and output-channel state (link, credits,
+//     waiting flag, mTx) are touched only by the owning shard's worker,
+//     or by the control plane while all workers are quiescent;
+//   - a channel's src-side state belongs to the src entity's shard; the
+//     credit-return event is therefore staged back to the src shard;
+//   - per-shard counters (delivered/dropped/free lists/message tracking)
+//     live on shardRT and are merged read-only at barriers.
+
+// stagedEvent is one cross-shard event awaiting the window barrier.
+type stagedEvent struct {
+	at  sim.Time
+	key uint64
+	fn  sim.ArgEvent
+	arg any
+	n   int64
+}
+
+// windowReq is one unit of work for a shard worker: run events in
+// [Now, end), or in [Now, end] when inclusive (the run horizon's final
+// instant, matching serial RunUntil semantics).
+type windowReq struct {
+	end       sim.Time
+	inclusive bool
+}
+
+// shardRT is the runtime state of one shard: its engine, its outgoing
+// staging buffers, and every piece of network-level accounting that the
+// shard's entities write on the hot path. All fields are single-writer:
+// the shard's worker inside a window, the control plane at barriers.
+type shardRT struct {
+	id  int
+	eng *sim.Engine
+
+	// stage[d] holds events bound for shard d since the last barrier.
+	// Slices are reused, so steady state appends without allocating.
+	stage [][]stagedEvent
+
+	// Hot-path accounting, merged by Network accessors at barriers.
+	deliveredPkts     int64
+	deliveredBytes    int64
+	droppedPkts       int64
+	droppedBytes      int64
+	unattributedDrops int64
+
+	// pktFree recycles packets freed on this shard.
+	pktFree []*Packet
+
+	// Message-completion tracking for messages whose destination host
+	// lives on this shard. msgDead[d] defers the teardown of messages
+	// tracked on shard d when a drop happens here (pure GC — a dropped
+	// message can never complete, so the entry is dead weight either
+	// way); applied at the next barrier.
+	msgRemaining map[int64]int
+	msgInject    map[int64]sim.Time
+	msgDead      [][]int64
+
+	work chan windowReq
+}
+
+func (rt *shardRT) stageTo(dst *shardRT, at sim.Time, key uint64, fn sim.ArgEvent, arg any, n int64) {
+	rt.stage[dst.id] = append(rt.stage[dst.id], stagedEvent{at: at, key: key, fn: fn, arg: arg, n: n})
+}
+
+// runWindow executes one conservative window on the shard's engine.
+func (rt *shardRT) runWindow(w windowReq) {
+	if w.inclusive {
+		rt.eng.RunUntil(w.end)
+	} else {
+		rt.eng.RunBefore(w.end)
+	}
+}
+
+// rng64 is a tiny splitmix64 generator, one per switch, for adaptive
+// routing tie-breaks. Per-switch state (rather than one shared stream)
+// makes each switch's draw sequence independent of how other switches'
+// events interleave — a requirement for serial/sharded equivalence.
+type rng64 struct{ s uint64 }
+
+func newRNG(seed int64, id int) rng64 {
+	return rng64{s: uint64(seed)*0x9E3779B97F4A7C15 + uint64(id+1)*0xBF58476D1CE4E5B9}
+}
+
+func (r *rng64) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// intn returns a value in [0, n). The modulo bias is irrelevant here —
+// n is a handful of candidate ports — and determinism is what matters.
+func (r *rng64) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// ShardGroup coordinates the shard workers of a network built with
+// Config.Shards > 1. The control engine (Network.E) holds everything
+// that is not per-entity data plane — workload generators, the energy
+// controller, fault injection, telemetry sampling — and runs only at
+// window barriers, when every shard is quiescent and parked on the same
+// clock value. Obtain it from Network.Sharding.
+type ShardGroup struct {
+	net       *Network
+	ctrl      *sim.Engine
+	rts       []*shardRT
+	lookahead sim.Time
+
+	busy    []*shardRT
+	done    chan struct{}
+	started bool
+	closed  bool
+}
+
+// NumShards returns the number of shards in the group.
+func (g *ShardGroup) NumShards() int { return len(g.rts) }
+
+// Lookahead returns the conservative window bound: the minimum latency
+// of any cross-shard scheduling edge.
+func (g *ShardGroup) Lookahead() sim.Time { return g.lookahead }
+
+// start spawns the shard workers on first use.
+func (g *ShardGroup) start() {
+	if g.started {
+		return
+	}
+	g.started = true
+	if g.net.Tracer != nil {
+		panic("fabric: packet tracing requires a serial run (Shards=1)")
+	}
+	for _, rt := range g.rts {
+		rt.work = make(chan windowReq, 1)
+		go func(rt *shardRT) {
+			for w := range rt.work {
+				rt.runWindow(w)
+				g.done <- struct{}{}
+			}
+		}(rt)
+	}
+}
+
+// Close stops the shard workers. Idempotent; the group is unusable
+// afterwards. Networks built with Shards=1 have no group to close.
+func (g *ShardGroup) Close() {
+	if !g.started || g.closed {
+		return
+	}
+	g.closed = true
+	for _, rt := range g.rts {
+		close(rt.work)
+	}
+}
+
+// RunUntil advances the whole sharded simulation to the given time,
+// with the semantics of sim.Engine.RunUntil: every event with timestamp
+// <= until executes, and all clocks park on until.
+func (g *ShardGroup) RunUntil(until sim.Time) {
+	g.start()
+	for {
+		now := g.ctrl.Now()
+		// Control plane first: run everything due at the current
+		// barrier instant (injection, controller epochs, fault events,
+		// samplers) while the shards are quiescent. Control events use
+		// lane 0, so this matches the canonical order: at any one
+		// timestamp, control runs before data.
+		g.ctrl.RunUntil(now)
+		g.drainStages()
+
+		// Earliest pending work anywhere.
+		next := sim.Time(math.MaxInt64)
+		if at, ok := g.ctrl.NextAt(); ok {
+			next = at
+		}
+		for _, rt := range g.rts {
+			if at, ok := rt.eng.NextAt(); ok && at < next {
+				next = at
+			}
+		}
+		if next > until {
+			// Nothing left inside the horizon: park every clock on it.
+			for _, rt := range g.rts {
+				rt.eng.AdvanceTo(until)
+			}
+			g.ctrl.RunUntil(until)
+			return
+		}
+		if next > now {
+			// Idle jump: no events in (now, next), so the next window
+			// can start at next instead of crawling there one lookahead
+			// at a time.
+			for _, rt := range g.rts {
+				rt.eng.AdvanceTo(next)
+			}
+			g.ctrl.AdvanceTo(next)
+			continue
+		}
+
+		// One conservative window [now, wend). Cross-shard events
+		// staged inside it land at >= now + lookahead >= wend, so no
+		// shard can receive work for a time it has already passed.
+		wend := now + g.lookahead
+		if at, ok := g.ctrl.NextAt(); ok && at < wend {
+			wend = at
+		}
+		if wend > until {
+			wend = until
+		}
+		if wend == now {
+			// now == until with data events due exactly at the horizon:
+			// run them inclusively to match serial RunUntil. Anything
+			// they stage lands strictly after until and stays pending.
+			g.dispatch(windowReq{end: until, inclusive: true})
+			g.drainStages()
+			continue
+		}
+		g.dispatch(windowReq{end: wend})
+		g.drainStages()
+		g.ctrl.AdvanceTo(wend)
+	}
+}
+
+// dispatch runs one window on every shard: shards with due events get
+// the window (in parallel when more than one is busy), idle shards jump
+// straight to the barrier.
+func (g *ShardGroup) dispatch(w windowReq) {
+	busy := g.busy[:0]
+	for _, rt := range g.rts {
+		at, ok := rt.eng.NextAt()
+		if ok && (at < w.end || (w.inclusive && at == w.end)) {
+			busy = append(busy, rt)
+		} else if !w.inclusive {
+			rt.eng.AdvanceTo(w.end)
+		}
+	}
+	g.busy = busy
+	if len(busy) == 1 {
+		// A single busy shard runs inline: no handoff, no wakeup.
+		busy[0].runWindow(w)
+		return
+	}
+	for _, rt := range busy {
+		rt.work <- w
+	}
+	for range busy {
+		<-g.done
+	}
+}
+
+// drainStages moves staged cross-shard events onto their destination
+// heaps and applies deferred message-teardown deletions. Called only at
+// barriers, with every worker quiescent. Push order does not matter:
+// each event carries the ordering key drawn from its source lane.
+func (g *ShardGroup) drainStages() {
+	for _, src := range g.rts {
+		for d, evs := range src.stage {
+			if len(evs) == 0 {
+				continue
+			}
+			eng := g.rts[d].eng
+			for i := range evs {
+				ev := &evs[i]
+				eng.PushKeyed(ev.at, ev.key, ev.fn, ev.arg, ev.n)
+				*ev = stagedEvent{} // release the arg for GC
+			}
+			src.stage[d] = evs[:0]
+		}
+		for d, ids := range src.msgDead {
+			if len(ids) == 0 {
+				continue
+			}
+			dst := g.rts[d]
+			for _, id := range ids {
+				delete(dst.msgRemaining, id)
+				delete(dst.msgInject, id)
+			}
+			src.msgDead[d] = ids[:0]
+		}
+	}
+}
+
+// buildShards partitions the network and creates the per-shard runtimes.
+// Switches are split into contiguous balanced ranges; hosts follow the
+// switch they attach to, so host<->switch channels never cross a shard
+// boundary and only switch<->switch channels need staging.
+func (n *Network) buildShards(e *sim.Engine, nsh int) error {
+	numSw := n.T.NumSwitches()
+	if nsh > numSw {
+		nsh = numSw
+	}
+	if nsh > 1 {
+		if n.Cfg.WireDelay+n.Cfg.RoutingDelay <= 0 || n.Cfg.CreditDelay <= 0 {
+			return fmt.Errorf("fabric: Shards=%d needs positive cross-shard latency "+
+				"(WireDelay+RoutingDelay=%v, CreditDelay=%v)",
+				nsh, n.Cfg.WireDelay+n.Cfg.RoutingDelay, n.Cfg.CreditDelay)
+		}
+	}
+	n.rts = make([]*shardRT, nsh)
+	for i := range n.rts {
+		rt := &shardRT{id: i, eng: e}
+		if nsh > 1 {
+			rt.eng = sim.New()
+			rt.stage = make([][]stagedEvent, nsh)
+			rt.msgDead = make([][]int64, nsh)
+		}
+		n.rts[i] = rt
+	}
+	if nsh > 1 {
+		lookahead := n.Cfg.CreditDelay
+		if d := n.Cfg.WireDelay + n.Cfg.RoutingDelay; d < lookahead {
+			lookahead = d
+		}
+		n.group = &ShardGroup{
+			net:       n,
+			ctrl:      e,
+			rts:       n.rts,
+			lookahead: lookahead,
+			busy:      make([]*shardRT, 0, nsh),
+			done:      make(chan struct{}, nsh),
+		}
+	}
+	return nil
+}
+
+// switchShard maps a switch index to its owning shard.
+func (n *Network) switchShard(sw int) *shardRT {
+	return n.rts[sw*len(n.rts)/n.T.NumSwitches()]
+}
+
+// Sharding returns the shard coordinator, or nil for a serial network.
+// Callers driving a sharded network directly (rather than through the
+// epnet Run API) must use ShardGroup.RunUntil instead of Engine.Run and
+// call Close when done.
+func (n *Network) Sharding() *ShardGroup { return n.group }
+
+// NumShards returns the number of shards the fabric is partitioned into
+// (1 for a serial network).
+func (n *Network) NumShards() int { return len(n.rts) }
+
+// HostShard returns the shard that owns host h — the shard on which
+// OnDeliver and OnMessageDone fire for packets and messages destined to
+// h. Callbacks on a sharded network must keep per-shard state indexed by
+// this (the epnet runner does), because shards run concurrently.
+func (n *Network) HostShard(h int) int { return n.Hosts[h].rt.id }
+
+// RunUntil advances the simulation to the given time: the shard group's
+// windowed loop when sharded, the engine directly when serial.
+func (n *Network) RunUntil(until sim.Time) {
+	if n.group != nil {
+		n.group.RunUntil(until)
+		return
+	}
+	n.E.RunUntil(until)
+}
+
+// Close releases the shard workers (no-op for serial networks).
+func (n *Network) Close() {
+	if n.group != nil {
+		n.group.Close()
+	}
+}
+
+// EventsProcessed returns events executed across every engine of the
+// network (control plus shards). For a serial network this is exactly
+// Engine.Processed.
+func (n *Network) EventsProcessed() uint64 {
+	if n.group == nil {
+		return n.E.Processed()
+	}
+	total := n.E.Processed()
+	for _, rt := range n.rts {
+		total += rt.eng.Processed()
+	}
+	return total
+}
+
+// PendingEvents returns queued events across every engine of the network.
+func (n *Network) PendingEvents() int {
+	if n.group == nil {
+		return n.E.Pending()
+	}
+	total := n.E.Pending()
+	for _, rt := range n.rts {
+		total += rt.eng.Pending()
+	}
+	return total
+}

@@ -1,0 +1,182 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+
+	"epnet/internal/routing"
+	"epnet/internal/sim"
+	"epnet/internal/topo"
+)
+
+// shardFingerprint is everything a sharded run must reproduce exactly:
+// global counters, per-host delivery sequences, and per-channel traffic.
+type shardFingerprint struct {
+	injectedPkts   int64
+	deliveredPkts  int64
+	deliveredBytes int64
+	droppedPkts    int64
+	routed         int64
+	peakQueue      int64
+	events         uint64
+	lastDeliver    []sim.Time // per destination host
+	hostPkts       []int64    // per destination host
+	chanBytes      []int64    // per channel, in wiring order
+	chanDrops      []int64
+}
+
+// runSharded drives one FBFLY run at the given shard count and returns
+// its fingerprint. faults exercises the fail/repair path mid-run.
+func runSharded(t *testing.T, shards int, faults bool) shardFingerprint {
+	t.Helper()
+	e := sim.New()
+	f := topo.MustFBFLY(8, 2, 8)
+	cfg := DefaultConfig()
+	cfg.Seed = 42
+	cfg.Shards = shards
+	n, err := New(e, f, routing.NewFBFLY(f), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	numHosts := n.NumHosts()
+	fp := shardFingerprint{
+		lastDeliver: make([]sim.Time, numHosts),
+		hostPkts:    make([]int64, numHosts),
+	}
+	// Each host is delivered to on exactly one shard, so per-dst slots
+	// are single-writer even when shards run concurrently.
+	n.OnDeliver = func(p *Packet, now sim.Time) {
+		fp.lastDeliver[p.Dst] = now
+		fp.hostPkts[p.Dst]++
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 400; i++ {
+		at := sim.Time(rng.Intn(80)) * sim.Microsecond
+		src, dst := rng.Intn(numHosts), rng.Intn(numHosts)
+		if src == dst {
+			dst = (dst + 1) % numHosts
+		}
+		size := 1 + rng.Intn(10000)
+		e.At(at, func(sim.Time) { n.InjectMessage(src, dst, size) })
+	}
+	if faults {
+		n.EnableFaults()
+		isc := n.InterSwitchChannels()
+		for i, c := range []int{3, 17, 40} {
+			c := isc[c%len(isc)]
+			failAt := sim.Time(10+20*i) * sim.Microsecond
+			e.At(failAt, func(now sim.Time) {
+				n.FailChan(c, now)
+				n.Switches[c.Src.ID].PumpPort(c.Src.Port, now)
+			})
+			e.At(failAt+30*sim.Microsecond, func(now sim.Time) {
+				n.RepairChan(c, now, n.Cfg.Ladder.Max(), 2*sim.Microsecond)
+			})
+		}
+	}
+
+	n.RunUntil(600 * sim.Microsecond)
+
+	fp.injectedPkts, _ = n.Injected()
+	fp.deliveredPkts, fp.deliveredBytes = n.Delivered()
+	fp.droppedPkts, _ = n.Dropped()
+	fp.routed = n.RoutedPackets()
+	fp.peakQueue = n.PeakQueueBytes()
+	fp.events = n.EventsProcessed()
+	for _, c := range n.Channels() {
+		fp.chanBytes = append(fp.chanBytes, c.L.TotalBytes())
+		fp.chanDrops = append(fp.chanDrops, c.Drops())
+	}
+	if fp.deliveredPkts+fp.droppedPkts != fp.injectedPkts {
+		t.Fatalf("shards=%d: %d delivered + %d dropped != %d injected",
+			shards, fp.deliveredPkts, fp.droppedPkts, fp.injectedPkts)
+	}
+	return fp
+}
+
+func diffFingerprints(t *testing.T, tag string, want, got shardFingerprint) {
+	t.Helper()
+	if want.injectedPkts != got.injectedPkts ||
+		want.deliveredPkts != got.deliveredPkts ||
+		want.deliveredBytes != got.deliveredBytes ||
+		want.droppedPkts != got.droppedPkts ||
+		want.routed != got.routed ||
+		want.peakQueue != got.peakQueue ||
+		want.events != got.events {
+		t.Errorf("%s: counters diverge: serial %+v vs %+v", tag,
+			struct{ i, d, b, x, r, p int64 }{want.injectedPkts, want.deliveredPkts, want.deliveredBytes, want.droppedPkts, want.routed, want.peakQueue},
+			struct{ i, d, b, x, r, p int64 }{got.injectedPkts, got.deliveredPkts, got.deliveredBytes, got.droppedPkts, got.routed, got.peakQueue})
+	}
+	for h := range want.lastDeliver {
+		if want.lastDeliver[h] != got.lastDeliver[h] || want.hostPkts[h] != got.hostPkts[h] {
+			t.Fatalf("%s: host %d diverges: serial (%v, %d pkts) vs (%v, %d pkts)",
+				tag, h, want.lastDeliver[h], want.hostPkts[h],
+				got.lastDeliver[h], got.hostPkts[h])
+		}
+	}
+	for i := range want.chanBytes {
+		if want.chanBytes[i] != got.chanBytes[i] || want.chanDrops[i] != got.chanDrops[i] {
+			t.Fatalf("%s: channel %d diverges: serial (%d B, %d drops) vs (%d B, %d drops)",
+				tag, i, want.chanBytes[i], want.chanDrops[i],
+				got.chanBytes[i], got.chanDrops[i])
+		}
+	}
+}
+
+// TestShardedMatchesSerial is the fabric-level half of the determinism
+// guarantee: for the same seed, every shard count must reproduce the
+// serial run's counters, per-host delivery times, and per-channel
+// traffic exactly — with and without fault injection mid-run.
+func TestShardedMatchesSerial(t *testing.T) {
+	for _, faults := range []bool{false, true} {
+		tag := "clean"
+		if faults {
+			tag = "faults"
+		}
+		serial := runSharded(t, 1, faults)
+		if serial.deliveredPkts == 0 {
+			t.Fatalf("%s: serial run delivered nothing", tag)
+		}
+		for _, shards := range []int{2, 4, 8} {
+			got := runSharded(t, shards, faults)
+			diffFingerprints(t, tag, serial, got)
+		}
+	}
+}
+
+// TestShardLookaheadValidation verifies that zero cross-shard latency is
+// rejected (it would make the conservative window empty).
+func TestShardLookaheadValidation(t *testing.T) {
+	e := sim.New()
+	f := topo.MustFBFLY(4, 2, 2)
+	cfg := DefaultConfig()
+	cfg.Shards = 2
+	cfg.CreditDelay = 0
+	if _, err := New(e, f, routing.NewFBFLY(f), cfg); err == nil {
+		t.Fatal("Shards=2 with CreditDelay=0 did not error")
+	}
+	cfg = DefaultConfig()
+	cfg.Shards = -1
+	if _, err := New(e, f, routing.NewFBFLY(f), cfg); err == nil {
+		t.Fatal("negative Shards did not error")
+	}
+}
+
+// TestShardCountClamped verifies Shards caps at the switch count.
+func TestShardCountClamped(t *testing.T) {
+	e := sim.New()
+	f := topo.MustFBFLY(2, 2, 1) // 2 switches
+	cfg := DefaultConfig()
+	cfg.Shards = 8
+	n, err := New(e, f, routing.NewFBFLY(f), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if n.NumShards() != 2 {
+		t.Fatalf("NumShards = %d, want 2", n.NumShards())
+	}
+}

@@ -15,6 +15,15 @@ type Switch struct {
 	net *Network
 	id  int
 
+	// Shard wiring: the owning runtime, its engine (cached), the lane
+	// that keys every event this switch schedules, and a private
+	// tie-break RNG so route choices are independent of how other
+	// switches' events interleave.
+	rt   *shardRT
+	eng  *sim.Engine
+	lane sim.Lane
+	rng  rng64
+
 	out         []*Chan // per-port output channel (nil on unused ports)
 	queues      []pktQueue
 	queuedBytes []int64
@@ -31,10 +40,15 @@ type Switch struct {
 	peakQueue     int64 // max output-queue depth seen, bytes
 }
 
-func newSwitch(n *Network, id, radix int) *Switch {
+func newSwitch(n *Network, id, radix int, laneID uint64) *Switch {
+	rt := n.switchShard(id)
 	s := &Switch{
 		net:         n,
 		id:          id,
+		rt:          rt,
+		eng:         rt.eng,
+		lane:        sim.NewLane(laneID),
+		rng:         newRNG(n.Cfg.Seed, id),
 		out:         make([]*Chan, radix),
 		queues:      make([]pktQueue, radix),
 		queuedBytes: make([]int64, radix),
@@ -76,17 +90,17 @@ func (s *Switch) arrive(pkt *Packet, now sim.Time) {
 	pkt.Hops++
 	if s.net.faultsEnabled {
 		if s.net.deadSwitch[s.id] {
-			s.net.dropPacket(pkt, now, "arrived at crashed switch")
+			s.net.dropPacket(s.rt, pkt, now, "arrived at crashed switch")
 			return
 		}
 		if dstSw, _ := s.net.T.HostAttachment(pkt.Dst); s.net.deadSwitch[dstSw] {
-			s.net.dropPacket(pkt, now, "destination switch crashed")
+			s.net.dropPacket(s.rt, pkt, now, "destination switch crashed")
 			return
 		}
 	}
 	port := s.choosePort(pkt, now)
 	if port < 0 {
-		s.net.dropPacket(pkt, now, "no live route")
+		s.net.dropPacket(s.rt, pkt, now, "no live route")
 		return
 	}
 	s.enqueue(port, pkt, now)
@@ -114,7 +128,7 @@ func (s *Switch) DropAllQueued(now sim.Time) int {
 	dropped := 0
 	for port := range s.queues {
 		for _, pkt := range s.queues[port].drain() {
-			s.net.dropPacket(pkt, now, "queued in crashed switch")
+			s.net.dropPacket(s.rt, pkt, now, "queued in crashed switch")
 			dropped++
 		}
 		s.queuedBytes[port] = 0
@@ -182,7 +196,7 @@ func (s *Switch) choosePort(pkt *Packet, now sim.Time) int {
 		case cost == bestCost:
 			// Reservoir-sample among ties for unbiased spreading.
 			nBest++
-			if s.net.rng.Intn(nBest) == 0 {
+			if s.rng.intn(nBest) == 0 {
 				best = p
 			}
 		}
@@ -204,7 +218,7 @@ func (s *Switch) scheduleWake(port int, at sim.Time) {
 	}
 	s.wakePending[port] = true
 	s.wakeAt[port] = at
-	s.net.E.At(at, s.wakeFns[port])
+	s.eng.AtLane(at, &s.lane, s.wakeFns[port])
 }
 
 // pumpOut transmits queued packets on a port while the channel and
@@ -252,7 +266,7 @@ func (s *Switch) rerouteQueue(port int, now sim.Time) {
 	for _, pkt := range pkts {
 		newPort := s.choosePort(pkt, now)
 		if newPort < 0 {
-			s.net.dropPacket(pkt, now, "no live route")
+			s.net.dropPacket(s.rt, pkt, now, "no live route")
 			continue
 		}
 		if newPort == port && !(s.net.faultsEnabled && s.out[port].failed) {
@@ -265,7 +279,7 @@ func (s *Switch) rerouteQueue(port int, now sim.Time) {
 		if newPort == port {
 			// The router still offers only the failed port: no live
 			// alternative exists.
-			s.net.dropPacket(pkt, now, "queued behind failed channel")
+			s.net.dropPacket(s.rt, pkt, now, "queued behind failed channel")
 			continue
 		}
 		s.enqueue(newPort, pkt, now)
@@ -278,6 +292,12 @@ type Host struct {
 	net *Network
 	id  int
 
+	// Shard wiring: a host lives on the shard of the switch it attaches
+	// to, so its uplink and downlink never cross a shard boundary.
+	rt   *shardRT
+	eng  *sim.Engine
+	lane sim.Lane
+
 	out          *Chan
 	q            pktQueue
 	backlogBytes int64
@@ -287,8 +307,8 @@ type Host struct {
 	wakeFn      sim.Event // bound once
 }
 
-func newHost(n *Network, id int) *Host {
-	h := &Host{net: n, id: id}
+func newHost(n *Network, id int, laneID uint64, rt *shardRT) *Host {
+	h := &Host{net: n, id: id, rt: rt, eng: rt.eng, lane: sim.NewLane(laneID)}
 	h.wakeFn = func(now sim.Time) {
 		h.wakePending = false
 		h.pump(now)
@@ -308,7 +328,7 @@ func (h *Host) scheduleWake(at sim.Time) {
 	}
 	h.wakePending = true
 	h.wakeAt = at
-	h.net.E.At(at, h.wakeFn)
+	h.eng.AtLane(at, &h.lane, h.wakeFn)
 }
 
 // pump injects queued packets while the uplink and credits allow.
@@ -339,8 +359,8 @@ func (h *Host) deliver(pkt *Packet, now sim.Time) {
 	if pkt.Dst != h.id {
 		panic(fmt.Sprintf("fabric: host %d received packet for %d", h.id, pkt.Dst))
 	}
-	h.net.deliveredPkts++
-	h.net.deliveredBytes += int64(pkt.Size)
+	h.rt.deliveredPkts++
+	h.rt.deliveredBytes += int64(pkt.Size)
 	if h.net.Tracer != nil {
 		h.net.Tracer.AsyncSpan("pkt", "packet", telemetry.PIDPackets, pkt.ID,
 			pkt.Inject, now, fmt.Sprintf(`"src":%d,"dst":%d,"bytes":%d,"hops":%d`,
@@ -350,19 +370,19 @@ func (h *Host) deliver(pkt *Packet, now sim.Time) {
 		h.net.OnDeliver(pkt, now)
 	}
 	if h.net.OnMessageDone != nil {
-		if rem, ok := h.net.msgRemaining[pkt.MsgID]; ok {
+		if rem, ok := h.rt.msgRemaining[pkt.MsgID]; ok {
 			rem--
 			if rem == 0 {
 				h.net.OnMessageDone(pkt.MsgID, pkt.Src, pkt.Dst,
-					h.net.msgInject[pkt.MsgID], now)
-				delete(h.net.msgRemaining, pkt.MsgID)
-				delete(h.net.msgInject, pkt.MsgID)
+					h.rt.msgInject[pkt.MsgID], now)
+				delete(h.rt.msgRemaining, pkt.MsgID)
+				delete(h.rt.msgInject, pkt.MsgID)
 			} else {
-				h.net.msgRemaining[pkt.MsgID] = rem
+				h.rt.msgRemaining[pkt.MsgID] = rem
 			}
 		}
 	}
-	h.net.freePacket(pkt)
+	h.net.freePacket(h.rt, pkt)
 }
 
 // Uplink returns the host's injection channel (for tests and the energy

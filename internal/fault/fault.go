@@ -10,6 +10,13 @@
 // route around dead ring links; up/down routing re-picks live uplinks),
 // and the epoch controller sees a repaired link pay its reactivation
 // (CDR re-lock / lane retraining) before carrying data again.
+//
+// Sharded execution contract: injector events live on the control
+// engine, which the shard coordinator only runs at window barriers
+// while every shard is quiesced at the same simulated instant. A fault
+// may therefore touch any switch, channel, or router state directly;
+// the entity's owning shard observes the change when its next window
+// opens, identically at every shard count.
 package fault
 
 import (

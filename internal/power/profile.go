@@ -198,9 +198,12 @@ func OccupancyPower(o link.Occupancy, p Profile) float64 {
 	if o.Total == 0 {
 		return 0
 	}
+	// Sum in ascending rate order: float addition is order-sensitive at
+	// the ULP level, and map iteration order would otherwise leak into
+	// reported power values, breaking byte-for-byte run reproducibility.
 	var acc float64
-	for r, t := range o.AtRate {
-		acc += p.Relative(r) * float64(t)
+	for _, r := range o.Rates() {
+		acc += p.Relative(r) * float64(o.AtRate[r])
 	}
 	acc += p.Off() * float64(o.Off)
 	return acc / float64(o.Total)

@@ -1,0 +1,88 @@
+package routing
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"epnet/internal/topo"
+)
+
+// TestFBFLYCandidateCacheDifferential drives a cached router through a
+// random interleaving of routing queries and routing-function mutations
+// (port failures/repairs, dimension mode changes) and checks every
+// answer against a freshly built router mirroring the same state — a
+// fresh router computes each set from scratch, so any stale cache entry
+// shows up as a divergence.
+func TestFBFLYCandidateCacheDifferential(t *testing.T) {
+	f := topo.MustFBFLY(4, 3, 2)
+	cached := NewFBFLY(f)
+	rng := rand.New(rand.NewSource(11))
+
+	type deadPort struct{ sw, port int }
+	dead := map[deadPort]bool{}
+	modes := make([]DimMode, f.D)
+
+	// mirror rebuilds an identical-state router with a cold cache.
+	mirror := func() *FBFLY {
+		m := NewFBFLY(f)
+		for d, mode := range modes {
+			m.SetMode(d, mode)
+		}
+		for p := range dead {
+			m.SetDead(p.sw, p.port, true)
+		}
+		return m
+	}
+
+	hostPorts := f.C // inter-switch ports start above the host ports
+	for step := 0; step < 2000; step++ {
+		switch rng.Intn(10) {
+		case 0: // toggle a random inter-switch port
+			sw := rng.Intn(f.NumSwitches())
+			port := hostPorts + rng.Intn(f.Radix()-hostPorts)
+			p := deadPort{sw, port}
+			if dead[p] {
+				delete(dead, p)
+				cached.SetDead(sw, port, false)
+			} else {
+				dead[p] = true
+				cached.SetDead(sw, port, true)
+			}
+		case 1: // change a dimension mode
+			d := rng.Intn(f.D)
+			modes[d] = DimMode(rng.Intn(3))
+			cached.SetMode(d, modes[d])
+		default:
+			sw := rng.Intn(f.NumSwitches())
+			dst := rng.Intn(f.NumHosts())
+			got := cached.Candidates(sw, dst, nil)
+			want := mirror().Candidates(sw, dst, nil)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("step %d: Candidates(%d, %d) = %v, fresh router says %v",
+					step, sw, dst, got, want)
+			}
+		}
+	}
+}
+
+// TestFBFLYCandidateCacheNoSteadyStateAllocs verifies that once the
+// cache rows a traffic pattern touches are warm, routing allocates
+// nothing — the property that keeps the fabric's packet path at zero
+// allocations per packet.
+func TestFBFLYCandidateCacheNoSteadyStateAllocs(t *testing.T) {
+	f := topo.MustFBFLY(8, 2, 8)
+	r := NewFBFLY(f)
+	buf := make([]int, 0, f.Radix())
+	warm := func() {
+		for sw := 0; sw < f.NumSwitches(); sw++ {
+			for dst := 0; dst < f.NumHosts(); dst += f.C {
+				buf = r.Candidates(sw, dst, buf[:0])
+			}
+		}
+	}
+	warm()
+	if avg := testing.AllocsPerRun(50, warm); avg != 0 {
+		t.Fatalf("warm candidate queries allocate %v times per sweep, want 0", avg)
+	}
+}

@@ -69,8 +69,12 @@ func (m DimMode) String() string {
 // dimension's mode.
 //
 // Modes may be mutated between packets by the dynamic topology
-// controller; FBFLY is not safe for concurrent use (the simulator is
-// single-threaded by design).
+// controller. Candidate computation itself is safe for concurrent
+// callers as long as each switch index is routed from at most one
+// goroutine at a time and mutations (SetDead/SetMode) happen only while
+// no routing is in flight — exactly the sharded fabric's single-writer
+// discipline, where mutations come from the quiesced control plane at
+// window barriers.
 type FBFLY struct {
 	F     *topo.FBFLY
 	Modes []DimMode // len == F.D; nil means all DimFull
@@ -82,12 +86,33 @@ type FBFLY struct {
 	// that a high-path-diversity network decouples the failure domain
 	// from the bandwidth domain.
 	dead map[int]bool
+
+	// cands caches the inter-switch candidate set per (switch,
+	// destination switch): the set depends only on that pair, the
+	// dimension modes, and the dead ports, so the per-dimension
+	// coordinate walk runs once per destination group instead of once
+	// per packet. gen invalidates every entry at once when SetDead or
+	// SetMode changes the routing function. Rows are indexed by the
+	// calling switch, so concurrent shards touch disjoint entries.
+	cands [][]candEntry
+	gen   uint64
+}
+
+// candEntry is one cached candidate set; gen 0 is never current, so the
+// zero value reads as invalid.
+type candEntry struct {
+	gen   uint64
+	ports []int
 }
 
 // NewFBFLY returns a minimal adaptive router for f with all dimensions
 // in full (flattened butterfly) mode.
 func NewFBFLY(f *topo.FBFLY) *FBFLY {
-	return &FBFLY{F: f, Modes: make([]DimMode, f.D)}
+	cands := make([][]candEntry, f.NumSwitches())
+	for i := range cands {
+		cands[i] = make([]candEntry, f.NumSwitches())
+	}
+	return &FBFLY{F: f, Modes: make([]DimMode, f.D), cands: cands, gen: 1}
 }
 
 // SetDead marks or clears a failed inter-switch port.
@@ -101,6 +126,7 @@ func (r *FBFLY) SetDead(sw, port int, dead bool) {
 	} else {
 		delete(r.dead, key)
 	}
+	r.gen++
 }
 
 // Dead reports whether a port is marked failed.
@@ -144,15 +170,27 @@ func (r *FBFLY) SetMode(d int, m DimMode) {
 		r.Modes = make([]DimMode, r.F.D)
 	}
 	r.Modes[d] = m
+	r.gen++
 }
 
 // Candidates implements Router.
 func (r *FBFLY) Candidates(sw, dst int, buf []int) []int {
-	f := r.F
-	dstSw, dstPort := f.HostAttachment(dst)
+	dstSw, dstPort := r.F.HostAttachment(dst)
 	if sw == dstSw {
 		return append(buf, dstPort)
 	}
+	e := &r.cands[sw][dstSw]
+	if e.gen != r.gen {
+		e.ports = r.compute(sw, dstSw, e.ports[:0])
+		e.gen = r.gen
+	}
+	return append(buf, e.ports...)
+}
+
+// compute appends the inter-switch candidate set for packets at sw bound
+// for dstSw — the cached half of Candidates.
+func (r *FBFLY) compute(sw, dstSw int, buf []int) []int {
+	f := r.F
 	for d := 0; d < f.D; d++ {
 		own := f.Coord(sw, d)
 		want := f.Coord(dstSw, d)

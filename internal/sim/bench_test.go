@@ -23,6 +23,25 @@ func BenchmarkScheduleStep(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduleStepDeep is BenchmarkScheduleStep at a 64k-event
+// queue depth — the regime of full-scale (15-ary 3-flat) runs, where
+// the heap no longer fits in L1/L2 and tree depth, not comparison
+// count, sets the cost of a step.
+func BenchmarkScheduleStepDeep(b *testing.B) {
+	e := New()
+	noop := func(Time) {}
+	const depth = 65536
+	for i := 0; i < depth; i++ {
+		e.At(Time(i), noop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+Time(1+i%99991), noop)
+		e.step()
+	}
+}
+
 // BenchmarkSelfScheduling measures throughput of events that reschedule
 // themselves — the pattern of every periodic controller and wake in the
 // fabric. Reported ns/op is per executed event.

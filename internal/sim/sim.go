@@ -4,9 +4,14 @@
 // at 40 Gb/s (one byte takes 200 ps) while still allowing simulations of
 // many simulated seconds inside an int64.
 //
-// The engine is single-threaded and deterministic: events scheduled for
-// the same timestamp fire in FIFO order of scheduling, so a simulation
-// run is exactly reproducible given the same inputs and seeds.
+// Each engine is single-threaded and deterministic. Events scheduled at
+// the same timestamp are ordered by a 64-bit key: At and AtArg draw keys
+// from the engine's own counter (lane 0), preserving FIFO order of
+// scheduling, while AtLane and AtArgLane draw from a caller-owned Lane.
+// Lanes make the execution order a pure function of per-entity scheduling
+// order rather than global scheduling order, which is what lets a sharded
+// simulation (several engines advancing in lockstep windows) replay the
+// exact event order of a serial run.
 package sim
 
 import (
@@ -58,10 +63,45 @@ type Event func(now Time)
 // events without allocating a closure per event.
 type ArgEvent func(now Time, arg any, n int64)
 
+// laneShift splits an ordering key into a lane ID (high 20 bits) and a
+// per-lane sequence number (low 44 bits). Lane 0 is the engine's own
+// counter; 2^44 events per lane is out of reach for any realistic run.
+const laneShift = 44
+
+// maxLaneID bounds lane identifiers to the 20 high bits of a key.
+const maxLaneID = 1<<(64-laneShift) - 1
+
+// Lane is an independent source of event-ordering keys. Two events at
+// the same timestamp execute in ascending key order, so events drawn
+// from one lane keep their scheduling order relative to each other, and
+// events from distinct lanes interleave by (lane ID, per-lane order) —
+// independent of which engine they were pushed onto or when. A Lane is
+// owned by a single scheduling thread; it is not safe for concurrent use.
+type Lane struct {
+	next uint64
+}
+
+// NewLane returns a lane with the given ID. Keys from lane id sort after
+// every key from lanes with smaller IDs at the same timestamp; lane 0 is
+// reserved for the engine's internal counter (At/AtArg).
+func NewLane(id uint64) Lane {
+	if id == 0 || id > maxLaneID {
+		panic(fmt.Sprintf("sim: lane ID %d out of range [1, %d]", id, uint64(maxLaneID)))
+	}
+	return Lane{next: id << laneShift}
+}
+
+// NextKey returns the lane's next ordering key and advances it.
+func (l *Lane) NextKey() uint64 {
+	k := l.next
+	l.next++
+	return k
+}
+
 // item is a scheduled event in the priority queue.
 type item struct {
 	at  Time
-	seq uint64 // tie-break: FIFO for equal timestamps
+	key uint64 // tie-break for equal timestamps: (lane, per-lane seq)
 	fn  ArgEvent
 	arg any
 	n   int64
@@ -70,10 +110,13 @@ type item struct {
 // execEvent adapts a plain Event (carried in arg) to the ArgEvent form.
 func execEvent(now Time, arg any, _ int64) { arg.(Event)(now) }
 
-// eventQueue is a binary min-heap of items ordered by (at, seq). It is
+// eventQueue is a 4-ary min-heap of items ordered by (at, key). It is
 // hand-rolled rather than built on container/heap so that Push and Pop
 // move item values directly instead of boxing them through interface{} —
 // the engine's hottest path would otherwise allocate on every event.
+// The 4-ary layout halves the tree depth of a binary heap, trading a
+// little extra comparison work per level for fewer cache-missing levels;
+// sift-up (the push path) does strictly fewer compares.
 type eventQueue []item
 
 // before reports whether a sorts ahead of b.
@@ -81,48 +124,63 @@ func (a item) before(b item) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	return a.seq < b.seq
+	return a.key < b.key
 }
 
-// push inserts it and restores the heap invariant (sift-up).
+// push inserts it and restores the heap invariant. Sift-up walks a hole
+// down from the end, moving displaced parents into it, and writes the
+// new item once at its final slot — one item copy per level instead of
+// a swap's three.
 func (q *eventQueue) push(it item) {
 	*q = append(*q, it)
 	h := *q
 	i := len(h) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !h[i].before(h[parent]) {
+		parent := (i - 1) / 4
+		if !it.before(h[parent]) {
 			break
 		}
-		h[i], h[parent] = h[parent], h[i]
+		h[i] = h[parent]
 		i = parent
 	}
+	h[i] = it
 }
 
-// pop removes and returns the minimum item (sift-down).
+// pop removes and returns the minimum item. Sift-down moves the hole
+// from the root toward the leaves, pulling the smallest child up at
+// each level, and places the displaced last element once at the end.
 func (q *eventQueue) pop() item {
 	h := *q
 	top := h[0]
 	n := len(h) - 1
-	h[0] = h[n]
+	moved := h[n]
 	h[n] = item{} // release the Event for GC
 	*q = h[:n]
 	h = h[:n]
 	i := 0
 	for {
-		left := 2*i + 1
-		if left >= n {
+		first := 4*i + 1
+		if first >= n {
 			break
 		}
-		child := left
-		if right := left + 1; right < n && h[right].before(h[left]) {
-			child = right
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
 		}
-		if !h[child].before(h[i]) {
+		for c := first + 1; c < last; c++ {
+			if h[c].before(h[min]) {
+				min = c
+			}
+		}
+		if !h[min].before(moved) {
 			break
 		}
-		h[i], h[child] = h[child], h[i]
-		i = child
+		h[i] = h[min]
+		i = min
+	}
+	if n > 0 {
+		h[i] = moved
 	}
 	return top
 }
@@ -159,8 +217,19 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Pending returns the number of events waiting in the queue.
 func (e *Engine) Pending() int { return len(e.queue) }
 
-// At schedules fn to run at absolute time at. Scheduling in the past
-// (before Now) panics: it indicates a model bug that would silently
+// NextAt returns the timestamp of the earliest pending event, or false
+// when the queue is empty.
+func (e *Engine) NextAt() (Time, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
+// At schedules fn to run at absolute time at, ordered on the engine's
+// own lane (lane 0): FIFO among all At/AtArg events at the same
+// timestamp, and ahead of any Lane-keyed event there. Scheduling in the
+// past (before Now) panics: it indicates a model bug that would silently
 // corrupt causality.
 func (e *Engine) At(at Time, fn Event) {
 	if at < e.now {
@@ -168,19 +237,50 @@ func (e *Engine) At(at Time, fn Event) {
 	}
 	e.seq++
 	// A func value is pointer-shaped, so carrying it in arg does not box.
-	e.queue.push(item{at: at, seq: e.seq, fn: execEvent, arg: fn})
+	e.queue.push(item{at: at, key: e.seq, fn: execEvent, arg: fn})
 }
 
-// AtArg schedules fn(at, arg, n) at absolute time at. With a pre-bound
-// fn (stored once, not a fresh closure) and a pointer-shaped arg this
-// schedules without allocating, which is what the fabric's per-packet
-// events use. The same past-scheduling rule as At applies.
+// AtArg schedules fn(at, arg, n) at absolute time at, on the engine's
+// lane 0 like At. With a pre-bound fn (stored once, not a fresh closure)
+// and a pointer-shaped arg this schedules without allocating. The same
+// past-scheduling rule as At applies.
 func (e *Engine) AtArg(at Time, fn ArgEvent, arg any, n int64) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
 	e.seq++
-	e.queue.push(item{at: at, seq: e.seq, fn: fn, arg: arg, n: n})
+	e.queue.push(item{at: at, key: e.seq, fn: fn, arg: arg, n: n})
+}
+
+// AtLane schedules fn at absolute time at, drawing its ordering key from
+// l instead of the engine counter.
+func (e *Engine) AtLane(at Time, l *Lane, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.queue.push(item{at: at, key: l.NextKey(), fn: execEvent, arg: fn})
+}
+
+// AtArgLane schedules fn(at, arg, n) at absolute time at, drawing its
+// ordering key from l instead of the engine counter. Zero-alloc like
+// AtArg.
+func (e *Engine) AtArgLane(at Time, l *Lane, fn ArgEvent, arg any, n int64) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.queue.push(item{at: at, key: l.NextKey(), fn: fn, arg: arg, n: n})
+}
+
+// PushKeyed schedules fn(at, arg, n) with an explicit, caller-computed
+// ordering key. The sharded fabric uses it at window barriers to drain
+// staged cross-shard events: keys were drawn from the sender's Lane at
+// staging time, so pushing the staged batches in any order reproduces
+// the exact order a single engine would have executed them in.
+func (e *Engine) PushKeyed(at Time, key uint64, fn ArgEvent, arg any, n int64) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.queue.push(item{at: at, key: key, fn: fn, arg: arg, n: n})
 }
 
 // After schedules fn to run d after the current time.
@@ -225,4 +325,31 @@ func (e *Engine) RunUntil(deadline Time) {
 	if !e.stopped && e.now < deadline {
 		e.now = deadline
 	}
+}
+
+// RunBefore executes events with timestamps strictly before end, then
+// advances the clock to end. It is the window body of a conservative
+// parallel simulation: a shard granted the window [Now, end) runs
+// everything inside it and stops with its clock parked on the barrier.
+func (e *Engine) RunBefore(end Time) {
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at < end {
+		e.step()
+	}
+	if !e.stopped && e.now < end {
+		e.now = end
+	}
+}
+
+// AdvanceTo moves the clock forward to t without executing anything.
+// It panics if that would rewind the clock or skip a pending event —
+// both indicate a broken window computation in the caller.
+func (e *Engine) AdvanceTo(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: AdvanceTo %v before now %v", t, e.now))
+	}
+	if at, ok := e.NextAt(); ok && at < t {
+		panic(fmt.Sprintf("sim: AdvanceTo %v would skip event at %v", t, at))
+	}
+	e.now = t
 }

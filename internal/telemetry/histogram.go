@@ -21,6 +21,34 @@ type Histogram struct {
 	counts []int64   // len(uppers)+1; last is the +Inf overflow bucket
 	sum    float64
 	n      int64
+
+	// refresh, when set (HistogramView), recomputes the state from the
+	// view's backing data just before any read. Views exist for sharded
+	// simulations: each shard observes into its own accumulator and the
+	// refresh hook merges them with an order-independent reduction, so
+	// readings are identical no matter how the run was partitioned.
+	refresh func(*Histogram)
+}
+
+// sync refreshes a view-backed histogram before a read; plain
+// histograms pay one nil check.
+func (h *Histogram) sync() {
+	if h != nil && h.refresh != nil {
+		h.refresh(h)
+	}
+}
+
+// SetState replaces the histogram's contents (bucket counts, value sum,
+// observation count) wholesale. It is the write half of a HistogramView
+// refresh hook; counts must have len(uppers)+1 entries.
+func (h *Histogram) SetState(counts []int64, sum float64, n int64) {
+	if len(counts) != len(h.counts) {
+		panic(fmt.Sprintf("telemetry: SetState with %d counts, histogram has %d buckets",
+			len(counts), len(h.counts)))
+	}
+	copy(h.counts, counts)
+	h.sum = sum
+	h.n = n
 }
 
 // NewHistogram returns an unregistered histogram with the given
@@ -50,13 +78,28 @@ func (r *Registry) Histogram(name string, uppers []float64, labels ...Label) (*H
 	}
 	h.name = name
 	h.labels = labels
-	if err := r.register(name+".count", labels, kindHistPart, func() float64 { return float64(h.n) }); err != nil {
+	if err := r.register(name+".count", labels, kindHistPart, func() float64 { h.sync(); return float64(h.n) }); err != nil {
 		return nil, err
 	}
-	if err := r.register(name+".sum", labels, kindHistPart, func() float64 { return h.sum }); err != nil {
+	if err := r.register(name+".sum", labels, kindHistPart, func() float64 { h.sync(); return h.sum }); err != nil {
 		return nil, err
 	}
 	r.hists = append(r.hists, h)
+	return h, nil
+}
+
+// HistogramView registers a histogram whose state is recomputed by
+// refresh just before every read (sampler tick, Prometheus render, CSV
+// dump). It carries no state of its own between reads; Observe must not
+// be called on it. The sharded fabric uses one for packet latency: each
+// shard accumulates privately, and refresh merges the shards into the
+// view via SetState.
+func (r *Registry) HistogramView(name string, uppers []float64, refresh func(*Histogram), labels ...Label) (*Histogram, error) {
+	h, err := r.Histogram(name, uppers, labels...)
+	if err != nil {
+		return nil, err
+	}
+	h.refresh = refresh
 	return h, nil
 }
 
@@ -87,6 +130,7 @@ func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
+	h.sync()
 	return h.n
 }
 
@@ -95,6 +139,7 @@ func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0
 	}
+	h.sync()
 	return h.sum
 }
 
@@ -102,6 +147,7 @@ func (h *Histogram) Sum() float64 {
 // counts; the final count is the +Inf overflow bucket, so counts is
 // one longer than uppers.
 func (h *Histogram) Buckets() (uppers []float64, counts []int64) {
+	h.sync()
 	return h.uppers, h.counts
 }
 
@@ -111,6 +157,7 @@ func (h *Histogram) Buckets() (uppers []float64, counts []int64) {
 // the columns needed to plot a Fig 8-style utilization histogram or a
 // latency CDF directly.
 func (h *Histogram) WriteCSV(w io.Writer) error {
+	h.sync()
 	bw := bufio.NewWriter(w)
 	bw.WriteString("le,count,cum_count,cum_fraction\n")
 	var cum int64

@@ -91,6 +91,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	for _, h := range r.hists {
+		h.sync()
 		pn := promName(h.name)
 		fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
 		var cum int64

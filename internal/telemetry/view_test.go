@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHistogramView verifies that a view histogram recomputes its state
+// from the refresh hook on every read path: registry series, direct
+// accessors, and the Prometheus render.
+func TestHistogramView(t *testing.T) {
+	r := NewRegistry()
+	// Backing data a refresh merges — stand-in for per-shard
+	// accumulators in the sharded fabric.
+	parts := [][]int64{
+		{1, 0, 2}, // bucket counts incl. +Inf, shard 0
+		{0, 3, 1}, // shard 1
+	}
+	sums := []float64{10, 20}
+	merged := make([]int64, 3)
+	refresh := func(h *Histogram) {
+		var n int64
+		var sum float64
+		for i := range merged {
+			merged[i] = 0
+		}
+		for s, p := range parts {
+			for i, c := range p {
+				merged[i] += c
+				n += c
+			}
+			sum += sums[s]
+		}
+		h.SetState(merged, sum, n)
+	}
+	h, err := r.HistogramView("lat", []float64{1, 2}, refresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := h.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	if got := h.Sum(); got != 30 {
+		t.Fatalf("Sum = %g, want 30", got)
+	}
+	_, counts := h.Buckets()
+	for i, want := range []int64{1, 3, 3} {
+		if counts[i] != want {
+			t.Fatalf("bucket %d = %d, want %d", i, counts[i], want)
+		}
+	}
+
+	// Mutate the backing data; the next read must see it.
+	parts[0][0] = 5
+	sums[0] = 100
+	vals := make([]float64, r.Len())
+	r.ReadInto(vals)
+	found := 0
+	for i, name := range r.Names() {
+		switch name {
+		case "lat.count":
+			found++
+			if vals[i] != 11 {
+				t.Fatalf("lat.count = %g, want 11", vals[i])
+			}
+		case "lat.sum":
+			found++
+			if vals[i] != 120 {
+				t.Fatalf("lat.sum = %g, want 120", vals[i])
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("registry exposed %d of the 2 view series", found)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `lat_bucket{le="+Inf"} 11`) {
+		t.Fatalf("Prometheus render missing refreshed +Inf bucket:\n%s", sb.String())
+	}
+}
+
+// TestSetStateLengthMismatch verifies the defensive length check.
+func TestSetStateLengthMismatch(t *testing.T) {
+	h, err := NewHistogram([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetState with wrong length did not panic")
+		}
+	}()
+	h.SetState([]int64{1, 2, 3}, 0, 0)
+}

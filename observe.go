@@ -25,6 +25,34 @@ var latencyBucketsUs = []float64{
 	1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
 }
 
+// latBucket returns the net.latency_us bucket index for a latency in
+// microseconds: the first bucket whose upper bound covers v, or the
+// final +Inf bucket. It mirrors Histogram.Observe's lower-bound search
+// so shard-local accumulation buckets identically to direct observation.
+func latBucket(v float64) int {
+	lo, hi := 0, len(latencyBucketsUs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if latencyBucketsUs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// latShard accumulates the packet-latency distribution observed by one
+// shard: per-bucket counts plus an exact integer time sum. Each shard
+// writes only its own entry, and the merged reduction (integer adds) is
+// order-independent, so the rendered histogram is byte-identical across
+// shard counts.
+type latShard struct {
+	counts []int64
+	sum    sim.Time
+	n      int64
+}
+
 // utilBuckets are the upper bounds of the link-utilization histogram
 // (the paper's Fig 8 x-axis: twenty 5% bins).
 var utilBuckets = []float64{
@@ -109,11 +137,11 @@ func newObserver(cfg Config, e *sim.Engine, net *fabric.Network,
 	if cfg.MetricsOut != "" || cfg.Inspector != nil {
 		reg := telemetry.NewRegistry()
 		if err := reg.GaugeFunc("sim.events_processed",
-			func() float64 { return float64(e.Processed()) }); err != nil {
+			func() float64 { return float64(net.EventsProcessed()) }); err != nil {
 			return nil, err
 		}
 		if err := reg.GaugeFunc("sim.pending_events",
-			func() float64 { return float64(e.Pending()) }); err != nil {
+			func() float64 { return float64(net.PendingEvents()) }); err != nil {
 			return nil, err
 		}
 		if err := net.RegisterMetrics(reg); err != nil {
@@ -146,11 +174,34 @@ func newObserver(cfg Config, e *sim.Engine, net *fabric.Network,
 			}
 		}
 		// Packet latency distribution, observed on the delivery path
-		// for post-warmup packets. The chained OnDeliver keeps Run's
-		// own latency recorder working unchanged.
-		hist, herr := reg.Histogram("net.latency_us", latencyBucketsUs)
-		if herr != nil {
-			return nil, herr
+		// for post-warmup packets. Delivery callbacks run on the shard
+		// that owns the destination host, so each shard accumulates into
+		// its own latShard; the view's refresh merges them with integer
+		// adds just before every read, making the sampled series and the
+		// rendered histogram independent of the shard count. The chained
+		// OnDeliver keeps Run's own latency recorder working unchanged.
+		parts := make([]latShard, net.NumShards())
+		for i := range parts {
+			parts[i].counts = make([]int64, len(latencyBucketsUs)+1)
+		}
+		merged := make([]int64, len(latencyBucketsUs)+1)
+		refresh := func(h *telemetry.Histogram) {
+			for i := range merged {
+				merged[i] = 0
+			}
+			var n int64
+			var sum sim.Time
+			for s := range parts {
+				for i, c := range parts[s].counts {
+					merged[i] += c
+				}
+				sum += parts[s].sum
+				n += parts[s].n
+			}
+			h.SetState(merged, sum.Microseconds(), n)
+		}
+		if _, err := reg.HistogramView("net.latency_us", latencyBucketsUs, refresh); err != nil {
+			return nil, err
 		}
 		warmup := simTime(cfg.Warmup)
 		prev := net.OnDeliver
@@ -159,7 +210,11 @@ func newObserver(cfg Config, e *sim.Engine, net *fabric.Network,
 				prev(p, now)
 			}
 			if p.Inject >= warmup {
-				hist.Observe((now - p.Inject).Microseconds())
+				d := now - p.Inject
+				sh := &parts[net.HostShard(p.Dst)]
+				sh.counts[latBucket(d.Microseconds())]++
+				sh.sum += d
+				sh.n++
 			}
 		}
 		o.reg = reg

@@ -124,6 +124,12 @@ func WithSeed(seed int64) Option {
 	return func(cfg *Config) { cfg.Seed = seed }
 }
 
+// WithShards partitions the simulation across n lockstep workers (see
+// Config.Shards). Results stay byte-identical to the serial run.
+func WithShards(n int) Option {
+	return func(cfg *Config) { cfg.Shards = n }
+}
+
 // WithFaultSchedule installs a deterministic fault schedule (see
 // Config.Faults for the grammar).
 func WithFaultSchedule(schedule string) Option {

@@ -112,17 +112,19 @@ func buildWorkload(cfg Config) (traffic.Workload, error) {
 	return w, nil
 }
 
-// advance drives the engine to until, checking ctx for cooperative
+// advance drives the network to until, checking ctx for cooperative
 // cancellation at every epoch boundary. A context that can never be
 // canceled (Run's context.Background) collapses to a single RunUntil
 // call, so the uncancelable path costs nothing extra. Cancellation
 // observed after the window completes is ignored — the work is done.
-func advance(ctx context.Context, e *sim.Engine, until, epoch sim.Time) error {
+// Network.RunUntil dispatches to the serial engine or the shard
+// coordinator, so cancellation granularity is the same either way.
+func advance(ctx context.Context, net *fabric.Network, until, epoch sim.Time) error {
 	if ctx.Done() == nil {
-		e.RunUntil(until)
+		net.RunUntil(until)
 		return nil
 	}
-	for now := e.Now(); now < until; now = e.Now() {
+	for now := net.E.Now(); now < until; now = net.E.Now() {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("epnet: run canceled at %v: %w", toDuration(now), err)
 		}
@@ -130,7 +132,7 @@ func advance(ctx context.Context, e *sim.Engine, until, epoch sim.Time) error {
 		if step > until {
 			step = until
 		}
-		e.RunUntil(step)
+		net.RunUntil(step)
 	}
 	return nil
 }
@@ -242,24 +244,33 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	fcfg := fabric.DefaultConfig()
 	fcfg.MaxPacket = cfg.MaxPacket
 	fcfg.Seed = cfg.Seed
+	fcfg.Shards = cfg.Shards
 	net, err := fabric.New(e, t, router, fcfg)
 	if err != nil {
 		return Result{}, err
 	}
+	defer net.Close()
 
-	// Latency is recorded only for packets injected after warmup.
+	// Latency is recorded only for packets injected after warmup. The
+	// delivery callbacks run on the shard owning the destination host,
+	// so each shard accumulates into its own Latency; the integer-based
+	// Merge after the run makes the totals independent of shard count.
 	warmup := simTime(cfg.Warmup)
 	horizon := warmup + simTime(cfg.Duration)
-	lat := stats.NewLatency()
+	lats := make([]*stats.Latency, net.NumShards())
+	msgLats := make([]*stats.Latency, net.NumShards())
+	for i := range lats {
+		lats[i] = stats.NewLatency()
+		msgLats[i] = stats.NewLatency()
+	}
 	net.OnDeliver = func(p *fabric.Packet, now sim.Time) {
 		if p.Inject >= warmup {
-			lat.Add(now - p.Inject)
+			lats[net.HostShard(p.Dst)].Add(now - p.Inject)
 		}
 	}
-	msgLat := stats.NewLatency()
-	net.OnMessageDone = func(_ int64, _, _ int, inject, done sim.Time) {
+	net.OnMessageDone = func(_ int64, _, dst int, inject, done sim.Time) {
 		if inject >= warmup {
-			msgLat.Add(done - inject)
+			msgLats[net.HostShard(dst)].Add(done - inject)
 		}
 	}
 
@@ -386,7 +397,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	// Warmup, then reset accounting so power/occupancy reflect steady
 	// state.
 	epoch := simTime(cfg.Epoch)
-	if err := advance(ctx, e, warmup, epoch); err != nil {
+	if err := advance(ctx, net, warmup, epoch); err != nil {
 		return Result{}, errors.Join(err, obs.finish(e.Now()))
 	}
 	for _, ch := range net.Channels() {
@@ -395,11 +406,22 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if ctrl != nil {
 		ctrl.Reconfigurations = 0
 	}
-	if err := advance(ctx, e, horizon, epoch); err != nil {
+	if err := advance(ctx, net, horizon, epoch); err != nil {
 		return Result{}, errors.Join(err, obs.finish(e.Now()))
 	}
 	if err := obs.finish(e.Now()); err != nil {
 		return Result{}, err
+	}
+
+	// Fold the per-shard latency recorders into one distribution. Merge
+	// is a pure integer reduction, so the folded statistics match what a
+	// serial run records directly.
+	lat, msgLat := lats[0], msgLats[0]
+	for _, l := range lats[1:] {
+		lat.Merge(l)
+	}
+	for _, l := range msgLats[1:] {
+		msgLat.Merge(l)
 	}
 
 	// Collect.
