@@ -32,9 +32,11 @@ bench-json:
 
 # Diff current benchmark times against the checked-in baseline
 # (BENCH_seed.json, regenerate with: make bench-json > BENCH_seed.json).
-# Regressions beyond 10% ns/op are flagged in the report; the target
-# itself never fails, since cross-machine benchmark noise makes a hard
-# gate counterproductive — read the report.
+# Regressions beyond 10% ns/op are flagged in the report, and sharded
+# benchmarks get a scaling section (speedup@N / N, flagged LOW only
+# when the machine had N cores to offer). The target itself never
+# fails, since cross-machine benchmark noise makes a hard gate
+# counterproductive — read the report.
 bench-compare:
 	@$(GO) test -bench . -benchmem ./internal/sim/ ./internal/fabric/ ./internal/telemetry/ | $(GO) run ./cmd/benchjson -compare BENCH_seed.json
 

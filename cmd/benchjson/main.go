@@ -16,10 +16,13 @@
 //	go test -bench . -benchmem ./... | benchjson -compare BENCH_seed.json
 //
 // Each benchmark present in both runs is reported with its ns/op delta;
-// regressions beyond -threshold (default 10%) are flagged. The exit
-// status stays 0 — benchmark noise across machines makes a hard gate
-// counterproductive, so the report is advisory and CI runs it
-// report-only.
+// regressions beyond -threshold (default 10%) are flagged. Benchmarks
+// with /shards=N sub-results additionally get a shard-scaling section:
+// speedup@N = MB/s(N) / MB/s(1) and efficiency = speedup@N / N, with
+// low efficiency flagged only when the recording machine actually had N
+// cores to offer. The exit status stays 0 — benchmark noise across
+// machines makes a hard gate counterproductive, so the report is
+// advisory and CI runs it report-only.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -39,6 +43,7 @@ type Result struct {
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	Cpus        float64 `json:"cpus,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
@@ -66,6 +71,8 @@ func parseLine(line string) (Result, bool) {
 			res.NsPerOp = v
 		case "MB/s":
 			res.MBPerSec = v
+		case "cpus":
+			res.Cpus = v
 		case "B/op":
 			res.BytesPerOp = int64(v)
 		case "allocs/op":
@@ -155,6 +162,80 @@ func compare(w io.Writer, current []Result, base map[string]Result, threshold fl
 	return regressions
 }
 
+// shardName splits a benchmark name like
+// "BenchmarkShardedThroughput/shards=4-8" into its base name and shard
+// count, or returns false for names without a /shards=N component.
+func shardName(name string) (base string, shards int, ok bool) {
+	const marker = "/shards="
+	i := strings.Index(name, marker)
+	if i < 0 {
+		return "", 0, false
+	}
+	rest := name[i+len(marker):]
+	// Trim the -GOMAXPROCS suffix go test appends to sub-benchmarks.
+	if j := strings.IndexByte(rest, '-'); j >= 0 {
+		rest = rest[:j]
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 1 {
+		return "", 0, false
+	}
+	return name[:i], n, true
+}
+
+// shardScaling prints the shard-scaling efficiency of every benchmark
+// family with /shards=N sub-results: speedup@N relative to the serial
+// (shards=1) run and efficiency = speedup@N / N. Efficiency below half
+// is flagged LOW, but only when the recording machine had at least N
+// cpus — a flat curve on a saturated box is the environment, not the
+// engine. Like the rest of the report the section is advisory.
+func shardScaling(w io.Writer, current []Result) {
+	type point struct {
+		shards int
+		res    Result
+	}
+	groups := make(map[string][]point)
+	var order []string
+	for _, res := range current {
+		base, n, ok := shardName(res.Name)
+		if !ok {
+			continue
+		}
+		if _, seen := groups[base]; !seen {
+			order = append(order, base)
+		}
+		groups[base] = append(groups[base], point{n, res})
+	}
+	for _, base := range order {
+		pts := groups[base]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].shards < pts[j].shards })
+		var serial float64
+		for _, p := range pts {
+			if p.shards == 1 {
+				serial = p.res.MBPerSec
+			}
+		}
+		if serial <= 0 || len(pts) < 2 {
+			continue // no serial anchor (or nothing to scale) — skip
+		}
+		fmt.Fprintf(w, "\nshard scaling: %s\n", base)
+		fmt.Fprintf(w, "%8s %12s %9s %11s\n", "shards", "MB/s", "speedup", "efficiency")
+		for _, p := range pts {
+			speedup := p.res.MBPerSec / serial
+			eff := speedup / float64(p.shards)
+			flag := ""
+			if p.shards > 1 && eff < 0.5 && p.res.Cpus >= float64(p.shards) {
+				flag = "  LOW"
+			}
+			fmt.Fprintf(w, "%8d %12.2f %8.2fx %10.0f%%%s\n",
+				p.shards, p.res.MBPerSec, speedup, eff*100, flag)
+		}
+		if cpus := pts[len(pts)-1].res.Cpus; cpus > 0 {
+			fmt.Fprintf(w, "(recorded with %.0f cpus; speedup beyond that count is not expected)\n", cpus)
+		}
+	}
+}
+
 func main() {
 	baseline := flag.String("compare", "", "baseline JSON Lines file: print a ns/op delta report instead of JSON")
 	threshold := flag.Float64("threshold", 0.10, "regression threshold as a fraction of baseline ns/op")
@@ -172,6 +253,7 @@ func main() {
 			os.Exit(1)
 		}
 		compare(os.Stdout, current, base, *threshold)
+		shardScaling(os.Stdout, current)
 		return
 	}
 	enc := json.NewEncoder(os.Stdout)

@@ -78,6 +78,58 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+// TestShardName covers the sub-benchmark name split behind the shard
+// scaling report.
+func TestShardName(t *testing.T) {
+	base, n, ok := shardName("BenchmarkShardedThroughput/shards=4-8")
+	if !ok || base != "BenchmarkShardedThroughput" || n != 4 {
+		t.Errorf("split = %q/%d/%v", base, n, ok)
+	}
+	for _, name := range []string{
+		"BenchmarkNetworkThroughput-8",
+		"BenchmarkX/shards=zero-8",
+		"BenchmarkX/shards=0-8",
+	} {
+		if _, _, ok := shardName(name); ok {
+			t.Errorf("%q parsed as a shard sub-benchmark", name)
+		}
+	}
+}
+
+// TestShardScaling exercises the efficiency report: perfect scaling at
+// 2 shards, poor scaling at 4 flagged LOW because the machine had the
+// cores, and no flag at 8 where it did not.
+func TestShardScaling(t *testing.T) {
+	current := []Result{
+		{Name: "BenchmarkShardedThroughput/shards=1-4", MBPerSec: 100, Cpus: 4},
+		{Name: "BenchmarkShardedThroughput/shards=2-4", MBPerSec: 200, Cpus: 4},
+		{Name: "BenchmarkShardedThroughput/shards=4-4", MBPerSec: 150, Cpus: 4},
+		{Name: "BenchmarkShardedThroughput/shards=8-4", MBPerSec: 150, Cpus: 4},
+		{Name: "BenchmarkNetworkThroughput-4", MBPerSec: 500},
+	}
+	var sb strings.Builder
+	shardScaling(&sb, current)
+	out := sb.String()
+	if !strings.Contains(out, "shard scaling: BenchmarkShardedThroughput") {
+		t.Fatalf("missing scaling section:\n%s", out)
+	}
+	if strings.Count(out, "LOW") != 1 {
+		t.Errorf("want exactly one LOW flag (shards=4):\n%s", out)
+	}
+	for _, want := range []string{"2.00x", "100%", "38%", "recorded with 4 cpus"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// Without a serial anchor there is nothing to normalize against.
+	sb.Reset()
+	shardScaling(&sb, current[1:3])
+	if sb.Len() != 0 {
+		t.Errorf("report without shards=1 anchor should be empty:\n%s", sb.String())
+	}
+}
+
 // TestReadBaselineRoundTrip writes a JSON Lines stream and reads it
 // back through the baseline loader.
 func TestReadBaselineRoundTrip(t *testing.T) {

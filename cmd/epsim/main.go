@@ -45,7 +45,7 @@ func main() {
 	warmup := flag.Duration("warmup", cfg.Warmup, "warmup before measurement")
 	duration := flag.Duration("duration", cfg.Duration, "measurement window")
 	seed := flag.Int64("seed", cfg.Seed, "random seed")
-	shards := flag.Int("shards", cfg.Shards, "parallel simulation shards (0/1 = serial; results are byte-identical)")
+	shards := flag.Int("shards", cfg.Shards, "parallel simulation shards (0 = auto: one per CPU; 1 = serial; results are byte-identical)")
 	dyntopo := flag.Bool("dyntopo", false, "enable the dynamic topology controller")
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
 	hist := flag.Bool("hist", false, "print the packet latency histogram")

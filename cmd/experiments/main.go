@@ -41,7 +41,7 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "seeded-random faults per simulated ms applied to every simulation")
 	faultMTTR := flag.Duration("fault-mttr", 0, "mean time to repair for random faults (default 200us)")
 	par := flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations per experiment (1 = serial; output is identical either way)")
-	shards := flag.Int("shards", 0, "parallel shards within each simulation (0/1 = serial; output is identical either way)")
+	shards := flag.Int("shards", 0, "parallel shards within each simulation (0 = auto: one per CPU; 1 = serial; output is identical either way)")
 	metricsOut := flag.String("metrics-out", "", "per-simulation metric time series base path; each run gets a numeric suffix (telemetry.csv -> telemetry.000.csv)")
 	traceOut := flag.String("trace-out", "", "per-simulation Chrome trace base path, suffixed like -metrics-out")
 	heatmapOut := flag.String("heatmap-out", "", "per-simulation utilization heatmap CSV base path, suffixed like -metrics-out")

@@ -41,7 +41,7 @@ func main() {
 	duration := flag.Duration("duration", 4*time.Millisecond, "measurement window")
 	warmup := flag.Duration("warmup", time.Millisecond, "warmup")
 	seed := flag.Int64("seed", 1, "seed")
-	shards := flag.Int("shards", 0, "parallel shards within each simulation (0/1 = serial; results are byte-identical)")
+	shards := flag.Int("shards", 0, "parallel shards within each simulation (0 = auto: one per CPU; 1 = serial; results are byte-identical)")
 	faults := flag.String("faults", "", "deterministic fault schedule applied to every run")
 	faultRate := flag.Float64("fault-rate", 0, "seeded-random faults per simulated ms applied to every run")
 	faultMTTR := flag.Duration("fault-mttr", 0, "mean time to repair for random faults (default 200us)")

@@ -27,6 +27,7 @@ package epnet
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -167,13 +168,20 @@ type Config struct {
 	Seed int64
 
 	// Shards, when > 1, partitions the fabric's switches (with their
-	// attached hosts) across this many workers that advance in lockstep
-	// conservative time windows bounded by the minimum cross-shard link
-	// latency, exchanging boundary events at window barriers. Results
-	// are byte-identical to the serial run for the same seed — sharding
-	// trades nothing but wall-clock time. 0 or 1 selects the serial
-	// engine (the default); the count is capped at the switch count.
-	// Incompatible with TraceOut (the trace stream is single-writer).
+	// attached hosts) across this many workers that advance in
+	// conservative per-shard time windows bounded by a per-shard-pair
+	// lookahead matrix, exchanging boundary events at window barriers.
+	// The topology picks the partition: flattened butterflies cut along
+	// dimensions, folded Clos along pods. Results are byte-identical to
+	// the serial run for the same seed — sharding trades nothing but
+	// wall-clock time.
+	//
+	// 0 (the default) means auto: one shard per available CPU
+	// (runtime.GOMAXPROCS), capped so every shard keeps at least ~8
+	// switches, and serial when the run needs the serial engine
+	// (TraceOut). 1 forces the serial engine; counts above the switch
+	// count are capped to it. Explicit Shards > 1 is incompatible with
+	// TraceOut (the trace stream is single-writer).
 	Shards int
 
 	// MaxPacket is the segmentation size (default 2048 bytes).
@@ -423,12 +431,43 @@ func (c *Config) Validate() error {
 		return fieldErr("Shards", "must be >= 0, got %d", c.Shards)
 	}
 	if c.Shards == 0 {
-		c.Shards = 1
+		c.Shards = c.autoShards(runtime.GOMAXPROCS(0))
 	}
 	if c.Shards > 1 && c.TraceOut != "" {
 		return fieldErr("TraceOut", "packet tracing requires the serial engine (Shards <= 1)")
 	}
 	return nil
+}
+
+// autoShards resolves Shards = 0: one worker per available CPU, capped
+// by a topology-size heuristic — a shard needs a useful amount of work
+// (here, at least 8 switches) to amortize its share of the window
+// barriers — and forced serial when the run needs the serial engine
+// (packet tracing). Called after the topology fields are validated.
+func (c *Config) autoShards(procs int) int {
+	if c.TraceOut != "" {
+		return 1
+	}
+	var switches int
+	switch c.Topology {
+	case TopoFatTree:
+		switches = 2 * c.K // K leaves + K spines
+	case TopoClos3:
+		switches = 5 * c.K * c.K / 4 // K^2 edge+agg, (K/2)^2 cores
+	default: // TopoFBFLY: K^(N-1)
+		switches = 1
+		for i := 1; i < c.N && switches < 1<<20; i++ {
+			switches *= c.K
+		}
+	}
+	n := switches / 8
+	if n > procs {
+		n = procs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // Result reports a simulation run's measurements over the post-warmup

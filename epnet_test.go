@@ -47,6 +47,8 @@ func TestConfigValidateRejects(t *testing.T) {
 		{"zero duration", func(c *Config) { c.Duration = 0 }},
 		{"negative warmup", func(c *Config) { c.Warmup = -1 }},
 		{"tiny packet", func(c *Config) { c.MaxPacket = 32 }},
+		{"negative shards", func(c *Config) { c.Shards = -1 }},
+		{"tracing with explicit shards", func(c *Config) { c.Shards = 2; c.TraceOut = "x.trace" }},
 	}
 	for _, tc := range cases {
 		cfg := base()
@@ -54,6 +56,61 @@ func TestConfigValidateRejects(t *testing.T) {
 		if err := cfg.Validate(); err == nil {
 			t.Errorf("%s: accepted", tc.name)
 		}
+	}
+}
+
+// TestConfigAutoShards pins the Shards=0 auto resolution: one worker
+// per CPU, capped so every shard keeps at least 8 switches, serial when
+// the run needs the serial engine, untouched when explicit.
+func TestConfigAutoShards(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		procs int
+		want  int
+	}{
+		// 4-ary 2-flat: 4 switches, too small to split at all.
+		{"small fbfly", Config{Topology: TopoFBFLY, K: 4, N: 2, C: 4}, 8, 1},
+		// 15-ary 3-flat: 225 switches, cap 28 — CPU-bound at 8 procs.
+		{"paper fbfly", Config{Topology: TopoFBFLY, K: 15, N: 3, C: 15}, 8, 8},
+		// Same topology, huge machine: the 225/8 cap binds.
+		{"paper fbfly wide", Config{Topology: TopoFBFLY, K: 15, N: 3, C: 15}, 64, 28},
+		// Fat tree K=8: 16 switches, cap 2.
+		{"fattree", Config{Topology: TopoFatTree, K: 8, C: 8}, 8, 2},
+		// Clos3 K=8: 80 chips, cap 10.
+		{"clos3", Config{Topology: TopoClos3, K: 8, C: 8}, 4, 4},
+		// Tracing needs the serial engine: auto resolves to 1.
+		{"tracing", Config{Topology: TopoFBFLY, K: 15, N: 3, C: 15, TraceOut: "x"}, 8, 1},
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.autoShards(tc.procs); got != tc.want {
+			t.Errorf("%s: autoShards(%d) = %d, want %d", tc.name, tc.procs, got, tc.want)
+		}
+	}
+
+	// Validate resolves 0 through the same path (procs from the runtime,
+	// so only bounds are portable) and leaves explicit counts alone.
+	cfg := Config{K: 4, N: 2, C: 4, Duration: time.Millisecond}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Shards < 1 {
+		t.Errorf("auto shards resolved to %d, want >= 1", cfg.Shards)
+	}
+	cfg = Config{K: 4, N: 2, C: 4, Duration: time.Millisecond, Shards: 1}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Shards != 1 {
+		t.Errorf("explicit Shards=1 rewritten to %d", cfg.Shards)
+	}
+	// Auto + tracing is fine — it picks the serial engine.
+	cfg = Config{K: 4, N: 2, C: 4, Duration: time.Millisecond, TraceOut: "x.trace"}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Shards != 1 {
+		t.Errorf("auto shards with tracing = %d, want 1", cfg.Shards)
 	}
 }
 

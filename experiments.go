@@ -28,9 +28,10 @@ type EvalConfig struct {
 	FaultMTTR time.Duration
 
 	// Shards partitions every simulation of the evaluation across this
-	// many lockstep workers (see Config.Shards). Results stay
+	// many windowed workers (see Config.Shards). Results stay
 	// byte-identical to the serial engine, so figures and tables are
-	// unchanged; only wall-clock time moves. 0/1 = serial.
+	// unchanged; only wall-clock time moves. 0 = auto (one per CPU,
+	// capped by topology size), 1 = serial.
 	Shards int
 
 	// Parallel is the number of simulations run concurrently within one

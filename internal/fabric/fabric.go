@@ -176,9 +176,11 @@ type Network struct {
 	pairs [][2]*Chan // both directions of each physical link
 
 	// Shard runtimes (one for a serial network, holding the hot-path
-	// accounting either way) and the window coordinator (nil serially).
-	rts   []*shardRT
-	group *ShardGroup
+	// accounting either way), the switch->shard assignment, and the
+	// window coordinator (nil serially).
+	rts     []*shardRT
+	swShard []int
+	group   *ShardGroup
 
 	// OnDeliver, when set, observes every delivered packet. On a sharded
 	// network it fires on the shard owning the destination host (see
@@ -291,6 +293,7 @@ func New(e *sim.Engine, t topo.Topology, r routing.Router, cfg Config) (*Network
 			n.pairs = append(n.pairs, [2]*Chan{fwd, rev})
 		}
 	}
+	n.finishShards()
 	return n, nil
 }
 
@@ -398,9 +401,27 @@ func (n *Network) InjectMessage(src, dst, size int) {
 // and lock-free: a list is touched only by its shard's worker or by the
 // quiescent-time control plane, and steady-state simulation allocates no
 // packets once the lists reach the in-flight high-water mark.
+//
+// Packets are allocated on the injecting host's shard but freed on the
+// delivering (or dropping) shard, so under skewed traffic one list
+// drains while another grows. Allocation happens only on the control
+// plane — injection is a control event, and control runs with every
+// worker quiescent — so when the local list is empty it is safe to
+// steal from the other shards (scanned in deterministic order; the
+// packet's contents are fully overwritten on reuse). This keeps total
+// packet allocations bounded by the global in-flight high-water mark at
+// any shard count.
 func (n *Network) allocPacket(rt *shardRT) *Packet {
 	if len(rt.pktFree) == 0 {
-		return new(Packet)
+		for _, o := range n.rts {
+			if len(o.pktFree) > 0 {
+				rt = o
+				break
+			}
+		}
+		if len(rt.pktFree) == 0 {
+			return new(Packet)
+		}
 	}
 	p := rt.pktFree[len(rt.pktFree)-1]
 	rt.pktFree = rt.pktFree[:len(rt.pktFree)-1]

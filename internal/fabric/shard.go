@@ -5,24 +5,46 @@ import (
 	"math"
 
 	"epnet/internal/sim"
+	"epnet/internal/topo"
 )
 
 // This file implements intra-run parallelism: the fabric's switches (and
 // their attached hosts, channels, and per-entity accounting) are
 // partitioned into shards, each owning a private sim.Engine, and all
-// shards advance in lockstep conservative time windows bounded by the
-// minimum cross-shard channel latency (the lookahead). Events that cross
-// a shard boundary are appended to per-pair staging buffers and drained
-// onto the destination heap at the next window barrier.
+// shards advance in conservative time windows. Events that cross a shard
+// boundary are appended to per-pair staging buffers and drained onto the
+// destination heap at the next window barrier.
+//
+// Windows are per shard, bounded by a per-shard-pair lookahead matrix
+// rather than one global minimum: la[j][i] is the smallest latency any
+// chain of cross-shard scheduling edges from shard j can add before its
+// influence reaches shard i (the min-plus transitive closure of the
+// direct channel-latency edges, diagonal included — a shard's own
+// traffic echoes back as credits). Shard i may therefore run to
+//
+//	W_i = min( ctrlNext, min over j of N_j + la[j][i] )
+//
+// where N_j is shard j's earliest pending event: nothing staged toward i
+// can land before W_i. Loosely coupled shards run long windows while
+// tightly coupled pairs barrier often, and when the whole fabric is
+// idle the formula degenerates to an analytic fast-forward — every
+// clock jumps past the event-free gap in a single round.
+//
+// The topology chooses the partition (topo.PartitionOf): dimension cuts
+// for flattened butterflies, pod cuts for folded Clos, proportional
+// leaf/spine slices for fat trees, contiguous ranges otherwise. Fewer
+// cross-shard channels means less staging traffic and a sparser, looser
+// lookahead matrix.
 //
 // Determinism: every data-plane event carries an ordering key drawn from
 // its source entity's sim.Lane at scheduling time, in both serial and
 // sharded mode. Within one timestamp, every engine executes events in
 // ascending key order, so the per-entity event order — and therefore
 // every per-entity state transition — is a pure function of the model,
-// not of how entities are spread over engines. Staged events carry their
-// precomputed keys across the barrier, so drain order is irrelevant.
-// The result: a sharded run is byte-identical to the serial run.
+// not of how entities are spread over engines or how wide any window
+// was. Staged events carry their precomputed keys across the barrier, so
+// drain order is irrelevant. The result: a sharded run is byte-identical
+// to the serial run, for every shard count and partition.
 //
 // Single-writer discipline (what makes windows lock-free):
 //   - switch/host state, lanes, and output-channel state (link, credits,
@@ -32,6 +54,18 @@ import (
 //     credit-return event is therefore staged back to the src shard;
 //   - per-shard counters (delivered/dropped/free lists/message tracking)
 //     live on shardRT and are merged read-only at barriers.
+//
+// Control-plane safety: control events (workload injection, controller
+// epochs, fault injection, samplers) mutate shard-owned state directly,
+// so they may only run when every shard clock sits exactly on the
+// control engine's clock. Every window end is capped at ctrlNext, and
+// new control events are only created by control events, so when the
+// minimum shard clock reaches ctrlNext all clocks equal it — the loop
+// runs the control plane precisely at those quiescent instants.
+
+// farAway is the effectively-infinite time bound: far beyond any run
+// horizon, small enough that farAway + farAway cannot overflow.
+const farAway = sim.Time(math.MaxInt64 / 4)
 
 // stagedEvent is one cross-shard event awaiting the window barrier.
 type stagedEvent struct {
@@ -59,8 +93,10 @@ type shardRT struct {
 	eng *sim.Engine
 
 	// stage[d] holds events bound for shard d since the last barrier.
-	// Slices are reused, so steady state appends without allocating.
-	stage [][]stagedEvent
+	// Slices are recycled through stageFree at barriers, so steady state
+	// stages without allocating regardless of shard count.
+	stage     [][]stagedEvent
+	stageFree [][]stagedEvent
 
 	// Hot-path accounting, merged by Network accessors at barriers.
 	deliveredPkts     int64
@@ -81,11 +117,22 @@ type shardRT struct {
 	msgInject    map[int64]sim.Time
 	msgDead      [][]int64
 
+	win  windowReq // the window assigned this round
 	work chan windowReq
 }
 
 func (rt *shardRT) stageTo(dst *shardRT, at sim.Time, key uint64, fn sim.ArgEvent, arg any, n int64) {
-	rt.stage[dst.id] = append(rt.stage[dst.id], stagedEvent{at: at, key: key, fn: fn, arg: arg, n: n})
+	s := rt.stage[dst.id]
+	if s == nil {
+		// First event toward dst since the last barrier: reuse a drained
+		// buffer. The free list is shared across destinations, so skewed
+		// traffic grows one capacity, not one per destination.
+		if k := len(rt.stageFree); k > 0 {
+			s = rt.stageFree[k-1]
+			rt.stageFree = rt.stageFree[:k-1]
+		}
+	}
+	rt.stage[dst.id] = append(s, stagedEvent{at: at, key: key, fn: fn, arg: arg, n: n})
 }
 
 // runWindow executes one conservative window on the shard's engine.
@@ -134,11 +181,20 @@ func (r *rng64) intn(n int) int {
 // window barriers, when every shard is quiescent and parked on the same
 // clock value. Obtain it from Network.Sharding.
 type ShardGroup struct {
-	net       *Network
-	ctrl      *sim.Engine
-	rts       []*shardRT
-	lookahead sim.Time
+	net  *Network
+	ctrl *sim.Engine
+	rts  []*shardRT
 
+	// la is the closed lookahead matrix: la[j][i] bounds how soon shard
+	// j's pending work can influence shard i (farAway when it cannot).
+	la [][]sim.Time
+
+	// Cut quality of the partition: directed inter-switch channels that
+	// cross a shard boundary, out of the total.
+	crossChans int
+	interChans int
+
+	next    []sim.Time // per-round scratch: each shard's earliest event
 	busy    []*shardRT
 	done    chan struct{}
 	started bool
@@ -148,9 +204,39 @@ type ShardGroup struct {
 // NumShards returns the number of shards in the group.
 func (g *ShardGroup) NumShards() int { return len(g.rts) }
 
-// Lookahead returns the conservative window bound: the minimum latency
-// of any cross-shard scheduling edge.
-func (g *ShardGroup) Lookahead() sim.Time { return g.lookahead }
+// Lookahead returns the tightest cross-shard window bound: the minimum
+// off-diagonal entry of the lookahead matrix. A shard pair at this bound
+// barriers most often; loosely coupled pairs run wider windows.
+func (g *ShardGroup) Lookahead() sim.Time {
+	min := farAway
+	for j, row := range g.la {
+		for i, v := range row {
+			if i != j && v < min {
+				min = v
+			}
+		}
+	}
+	return min
+}
+
+// LookaheadMatrix returns a copy of the closed per-shard-pair lookahead
+// matrix: entry [j][i] is the minimum latency over chains of cross-shard
+// scheduling edges from shard j to shard i (diagonal: the shortest
+// round trip back to j). Unreachable pairs are effectively infinite.
+func (g *ShardGroup) LookaheadMatrix() [][]sim.Time {
+	out := make([][]sim.Time, len(g.la))
+	for i, row := range g.la {
+		out[i] = append([]sim.Time(nil), row...)
+	}
+	return out
+}
+
+// CutQuality returns the partition's cut: how many directed inter-switch
+// channels cross a shard boundary, out of the total. Lower is better —
+// cross channels cost staging and tighten the lookahead matrix.
+func (g *ShardGroup) CutQuality() (cross, total int) {
+	return g.crossChans, g.interChans
+}
 
 // start spawns the shard workers on first use.
 func (g *ShardGroup) start() {
@@ -190,17 +276,24 @@ func (g *ShardGroup) Close() {
 func (g *ShardGroup) RunUntil(until sim.Time) {
 	g.start()
 	for {
-		now := g.ctrl.Now()
-		// Control plane first: run everything due at the current
-		// barrier instant (injection, controller epochs, fault events,
-		// samplers) while the shards are quiescent. Control events use
-		// lane 0, so this matches the canonical order: at any one
-		// timestamp, control runs before data.
-		g.ctrl.RunUntil(now)
+		// The floor is the earliest shard clock: the instant the whole
+		// simulation has provably completed. Every window end is capped
+		// at the control engine's next event, so when the floor reaches
+		// it every shard clock equals it exactly — the quiescent moment
+		// control events require. Running the control plane to the floor
+		// therefore fires them at precisely those instants (and control
+		// uses lane 0, so at any one timestamp control precedes data).
+		floor := g.rts[0].eng.Now()
+		for _, rt := range g.rts[1:] {
+			if t := rt.eng.Now(); t < floor {
+				floor = t
+			}
+		}
+		g.ctrl.RunUntil(floor)
 		g.drainStages()
 
 		// Earliest pending work anywhere.
-		next := sim.Time(math.MaxInt64)
+		next := farAway
 		if at, ok := g.ctrl.NextAt(); ok {
 			next = at
 		}
@@ -217,72 +310,81 @@ func (g *ShardGroup) RunUntil(until sim.Time) {
 			g.ctrl.RunUntil(until)
 			return
 		}
-		if next > now {
-			// Idle jump: no events in (now, next), so the next window
-			// can start at next instead of crawling there one lookahead
-			// at a time.
-			for _, rt := range g.rts {
-				rt.eng.AdvanceTo(next)
-			}
-			g.ctrl.AdvanceTo(next)
-			continue
-		}
-
-		// One conservative window [now, wend). Cross-shard events
-		// staged inside it land at >= now + lookahead >= wend, so no
-		// shard can receive work for a time it has already passed.
-		wend := now + g.lookahead
-		if at, ok := g.ctrl.NextAt(); ok && at < wend {
-			wend = at
-		}
-		if wend > until {
-			wend = until
-		}
-		if wend == now {
-			// now == until with data events due exactly at the horizon:
-			// run them inclusively to match serial RunUntil. Anything
-			// they stage lands strictly after until and stays pending.
-			g.dispatch(windowReq{end: until, inclusive: true})
-			g.drainStages()
-			continue
-		}
-		g.dispatch(windowReq{end: wend})
-		g.drainStages()
-		g.ctrl.AdvanceTo(wend)
+		g.round(until)
 	}
 }
 
-// dispatch runs one window on every shard: shards with due events get
-// the window (in parallel when more than one is busy), idle shards jump
-// straight to the barrier.
-func (g *ShardGroup) dispatch(w windowReq) {
+// round runs one set of per-shard conservative windows. Shard i's
+// horizon is W_i = min(ctrlNext, min over j of N_j + la[j][i]): any
+// event another shard stages toward i from here on lands at or after
+// W_i, because it derives from some pending event (at >= N_j) through
+// scheduling edges totalling at least la[j][i]. The diagonal term keeps
+// a shard from outrunning its own echo (its packet's credit return).
+// W_i never rewinds: each N_j is at least shard j's previous horizon,
+// and la obeys the triangle inequality, so the bound only grows.
+//
+// When a shard's uncapped horizon clears the run horizon, nothing can
+// arrive at or before until anymore and the window runs inclusively to
+// until, matching serial RunUntil semantics. Shards with no work below
+// their horizon jump straight to it; the rest run in parallel.
+func (g *ShardGroup) round(until sim.Time) {
+	ctrlNext := farAway
+	if at, ok := g.ctrl.NextAt(); ok {
+		ctrlNext = at
+	}
+	for i, rt := range g.rts {
+		g.next[i] = farAway
+		if at, ok := rt.eng.NextAt(); ok {
+			g.next[i] = at
+		}
+	}
 	busy := g.busy[:0]
-	for _, rt := range g.rts {
-		at, ok := rt.eng.NextAt()
-		if ok && (at < w.end || (w.inclusive && at == w.end)) {
+	for i, rt := range g.rts {
+		w := ctrlNext
+		for j := range g.rts {
+			if g.next[j] >= farAway {
+				continue
+			}
+			if d := g.next[j] + g.la[j][i]; d < w {
+				w = d
+			}
+		}
+		req := windowReq{end: w}
+		if w > until {
+			req = windowReq{end: until, inclusive: true}
+		}
+		rt.win = req
+		if at := g.next[i]; at < req.end || (req.inclusive && at == req.end && at < farAway) {
 			busy = append(busy, rt)
-		} else if !w.inclusive {
-			rt.eng.AdvanceTo(w.end)
+		} else {
+			rt.eng.AdvanceTo(req.end)
 		}
 	}
 	g.busy = busy
 	if len(busy) == 1 {
 		// A single busy shard runs inline: no handoff, no wakeup.
-		busy[0].runWindow(w)
-		return
+		busy[0].runWindow(busy[0].win)
+	} else {
+		for _, rt := range busy {
+			rt.work <- rt.win
+		}
+		for range busy {
+			<-g.done
+		}
 	}
-	for _, rt := range busy {
-		rt.work <- w
-	}
-	for range busy {
-		<-g.done
-	}
+	g.drainStages()
 }
 
 // drainStages moves staged cross-shard events onto their destination
 // heaps and applies deferred message-teardown deletions. Called only at
 // barriers, with every worker quiescent. Push order does not matter:
 // each event carries the ordering key drawn from its source lane.
+//
+// Drained slices are swapped into a per-shard free list rather than
+// truncated in place, so a destination whose buffer happened to grow
+// large keeps feeding capacity back to whichever destination needs it
+// next — staging stays allocation-free in steady state at any shard
+// count.
 func (g *ShardGroup) drainStages() {
 	for _, src := range g.rts {
 		for d, evs := range src.stage {
@@ -293,9 +395,10 @@ func (g *ShardGroup) drainStages() {
 			for i := range evs {
 				ev := &evs[i]
 				eng.PushKeyed(ev.at, ev.key, ev.fn, ev.arg, ev.n)
-				*ev = stagedEvent{} // release the arg for GC
 			}
-			src.stage[d] = evs[:0]
+			clear(evs) // release the args for GC
+			src.stageFree = append(src.stageFree, evs[:0])
+			src.stage[d] = nil
 		}
 		for d, ids := range src.msgDead {
 			if len(ids) == 0 {
@@ -312,9 +415,12 @@ func (g *ShardGroup) drainStages() {
 }
 
 // buildShards partitions the network and creates the per-shard runtimes.
-// Switches are split into contiguous balanced ranges; hosts follow the
-// switch they attach to, so host<->switch channels never cross a shard
-// boundary and only switch<->switch channels need staging.
+// The topology picks the split (topo.PartitionOf): structure-aware cuts
+// for the regular topologies, balanced contiguous ranges otherwise.
+// Hosts follow the switch they attach to, so host<->switch channels
+// never cross a shard boundary and only switch<->switch channels need
+// staging. The lookahead matrix is computed after wiring, in
+// finishShards.
 func (n *Network) buildShards(e *sim.Engine, nsh int) error {
 	numSw := n.T.NumSwitches()
 	if nsh > numSw {
@@ -327,6 +433,7 @@ func (n *Network) buildShards(e *sim.Engine, nsh int) error {
 				nsh, n.Cfg.WireDelay+n.Cfg.RoutingDelay, n.Cfg.CreditDelay)
 		}
 	}
+	n.swShard = topo.PartitionOf(n.T, nsh)
 	n.rts = make([]*shardRT, nsh)
 	for i := range n.rts {
 		rt := &shardRT{id: i, eng: e}
@@ -338,26 +445,87 @@ func (n *Network) buildShards(e *sim.Engine, nsh int) error {
 		n.rts[i] = rt
 	}
 	if nsh > 1 {
-		lookahead := n.Cfg.CreditDelay
-		if d := n.Cfg.WireDelay + n.Cfg.RoutingDelay; d < lookahead {
-			lookahead = d
-		}
 		n.group = &ShardGroup{
-			net:       n,
-			ctrl:      e,
-			rts:       n.rts,
-			lookahead: lookahead,
-			busy:      make([]*shardRT, 0, nsh),
-			done:      make(chan struct{}, nsh),
+			net:  n,
+			ctrl: e,
+			rts:  n.rts,
+			next: make([]sim.Time, nsh),
+			busy: make([]*shardRT, 0, nsh),
+			done: make(chan struct{}, nsh),
 		}
 	}
 	return nil
 }
 
+// finishShards runs after the channels are wired: it derives the
+// lookahead matrix and the partition's cut quality from the actual
+// cross-shard channels.
+func (n *Network) finishShards() {
+	g := n.group
+	if g == nil {
+		return
+	}
+	nsh := len(g.rts)
+	la := make([][]sim.Time, nsh)
+	for i := range la {
+		la[i] = make([]sim.Time, nsh)
+		for j := range la[i] {
+			la[i][j] = farAway
+		}
+	}
+	// Direct edges. A cross-shard channel contributes two scheduling
+	// edges: the packet arrival src->dst (staged at transmit start, lands
+	// WireDelay+RoutingDelay later; cross-shard destinations are always
+	// switches — hosts share their switch's shard) and the credit return
+	// dst->src (staged at arrival, lands CreditDelay later).
+	hop := n.Cfg.WireDelay + n.Cfg.RoutingDelay
+	for _, c := range n.chans {
+		if c.Src.Kind == topo.KindSwitch && c.Dst.Kind == topo.KindSwitch {
+			g.interChans++
+		}
+		if c.sameShard {
+			continue
+		}
+		g.crossChans++
+		s, d := c.srcRT.id, c.dstRT.id
+		if hop < la[s][d] {
+			la[s][d] = hop
+		}
+		if n.Cfg.CreditDelay < la[d][s] {
+			la[d][s] = n.Cfg.CreditDelay
+		}
+	}
+	// Min-plus closure (Floyd–Warshall): influence propagates
+	// transitively — shard a can reach shard c through b over successive
+	// windows — so the safe bound for a pair is its cheapest chain. The
+	// diagonal starts unreachable and closes to the cheapest round trip,
+	// e.g. a packet out and its credit home. The closure also gives the
+	// triangle inequality that makes per-shard windows monotone.
+	for k := 0; k < nsh; k++ {
+		lak := la[k]
+		for i := 0; i < nsh; i++ {
+			ik := la[i][k]
+			if ik >= farAway {
+				continue
+			}
+			lai := la[i]
+			for j := 0; j < nsh; j++ {
+				if d := ik + lak[j]; d < lai[j] {
+					lai[j] = d
+				}
+			}
+		}
+	}
+	g.la = la
+}
+
 // switchShard maps a switch index to its owning shard.
 func (n *Network) switchShard(sw int) *shardRT {
-	return n.rts[sw*len(n.rts)/n.T.NumSwitches()]
+	return n.rts[n.swShard[sw]]
 }
+
+// SwitchShard returns the shard that owns switch sw.
+func (n *Network) SwitchShard(sw int) int { return n.swShard[sw] }
 
 // Sharding returns the shard coordinator, or nil for a serial network.
 // Callers driving a sharded network directly (rather than through the

@@ -165,6 +165,73 @@ func TestShardLookaheadValidation(t *testing.T) {
 	}
 }
 
+// TestShardLookaheadMatrix pins the closed lookahead matrix on a
+// two-shard butterfly: every shard pair carries channels both ways, so
+// the off-diagonal bound is the cheapest direct edge — the credit
+// return — and the diagonal closes to the cheapest round trip (credit
+// out, credit home). The cut quality reflects the full bipartite
+// channel count between the contiguous halves of the single-dimension
+// clique.
+func TestShardLookaheadMatrix(t *testing.T) {
+	e := sim.New()
+	f := topo.MustFBFLY(16, 2, 8)
+	cfg := DefaultConfig() // WireDelay 50ns, RoutingDelay 100ns, CreditDelay 50ns
+	cfg.Shards = 2
+	n, err := New(e, f, routing.NewFBFLY(f), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	g := n.Sharding()
+
+	la := g.LookaheadMatrix()
+	credit := cfg.CreditDelay
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := credit // cheaper than the 150ns packet hop
+			if i == j {
+				want = 2 * credit // shortest echo: credit out, credit back
+			}
+			if la[i][j] != want {
+				t.Errorf("la[%d][%d] = %v, want %v", i, j, la[i][j], want)
+			}
+		}
+	}
+	if got := g.Lookahead(); got != credit {
+		t.Errorf("Lookahead() = %v, want %v", got, credit)
+	}
+
+	// 16-switch clique: 16*15 directed channels; an 8|8 split crosses
+	// 8*8 pairs in both directions.
+	cross, total := g.CutQuality()
+	if total != 16*15 || cross != 2*8*8 {
+		t.Errorf("CutQuality() = %d/%d, want %d/%d", cross, total, 2*8*8, 16*15)
+	}
+}
+
+// TestShardPartitionApplied verifies the fabric uses the topology's
+// structure-aware partition: on a Clos, every pod lands on one shard.
+func TestShardPartitionApplied(t *testing.T) {
+	e := sim.New()
+	c := topo.MustClos3(4)
+	cfg := DefaultConfig()
+	cfg.Shards = 4
+	n, err := New(e, c, routing.NewClos3(c), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	for sw := 0; sw < c.NumSwitches(); sw++ {
+		if c.IsCore(sw) {
+			continue
+		}
+		pod := c.PodOf(sw)
+		if got, want := n.SwitchShard(sw), n.SwitchShard(c.EdgeSwitch(pod, 0)); got != want {
+			t.Fatalf("sw %d (pod %d) on shard %d, pod anchor on %d", sw, pod, got, want)
+		}
+	}
+}
+
 // TestShardCountClamped verifies Shards caps at the switch count.
 func TestShardCountClamped(t *testing.T) {
 	e := sim.New()

@@ -1,0 +1,184 @@
+package topo
+
+// This file computes switch -> shard assignments for the fabric's
+// intra-run parallelism (see fabric/shard.go). A good partition keeps
+// channels inside shards: every cross-shard channel costs staging work
+// at window barriers and, more importantly, tightens the conservative
+// lookahead between the two shards it connects. The regular topologies
+// know their own structure — a flattened butterfly cuts cleanest along
+// its highest dimension, a folded Clos along pod boundaries — so each
+// implements Partitioner; everything else falls back to balanced
+// contiguous index ranges.
+
+// Partitioner is implemented by topologies that can compute a
+// structure-aware switch->shard assignment minimizing cross-shard
+// channels. Partition returns assign[sw] = shard in [0, shards), or nil
+// when the topology has nothing better than contiguous ranges for the
+// requested shard count (PartitionOf then falls back). Implementations
+// must be deterministic: pure functions of the topology and shards.
+type Partitioner interface {
+	Partition(shards int) []int
+}
+
+// ContiguousPartition assigns numSwitches switch indices to shards as
+// balanced contiguous runs: switch sw goes to shard sw*shards/numSwitches.
+// This is the structure-blind fallback.
+func ContiguousPartition(numSwitches, shards int) []int {
+	assign := make([]int, numSwitches)
+	for sw := range assign {
+		assign[sw] = sw * shards / numSwitches
+	}
+	return assign
+}
+
+// PartitionOf returns the switch->shard assignment for t: the topology's
+// own Partition when it implements Partitioner and yields a valid
+// assignment (right length, every shard non-empty), balanced contiguous
+// index ranges otherwise. shards must be in [1, t.NumSwitches()].
+func PartitionOf(t Topology, shards int) []int {
+	if p, ok := t.(Partitioner); ok {
+		if assign := p.Partition(shards); validPartition(assign, t.NumSwitches(), shards) {
+			return assign
+		}
+	}
+	return ContiguousPartition(t.NumSwitches(), shards)
+}
+
+// validPartition checks an assignment covers every shard exactly once
+// over the right number of switches.
+func validPartition(assign []int, numSwitches, shards int) bool {
+	if len(assign) != numSwitches {
+		return false
+	}
+	used := make([]bool, shards)
+	for _, s := range assign {
+		if s < 0 || s >= shards {
+			return false
+		}
+		used[s] = true
+	}
+	for _, u := range used {
+		if !u {
+			return false
+		}
+	}
+	return true
+}
+
+// CrossShardChannels counts the directed switch-to-switch channels of t
+// whose endpoints land on different shards under assign, along with the
+// total number of directed inter-switch channels — the cut a partitioner
+// minimizes. Host attachment channels never cross: hosts follow their
+// switch.
+func CrossShardChannels(t Topology, assign []int) (cross, total int) {
+	for sw := 0; sw < t.NumSwitches(); sw++ {
+		for p := 0; p < t.Radix(); p++ {
+			peer, ok := t.Peer(sw, p)
+			if !ok || peer.Kind != KindSwitch {
+				continue
+			}
+			total++
+			if assign[sw] != assign[peer.ID] {
+				cross++
+			}
+		}
+	}
+	return cross, total
+}
+
+// Partition implements Partitioner for the flattened butterfly: a
+// recursive dimension cut. The switch index is dimension-major, so the
+// highest dimension splits into whole coordinate slabs (severing only
+// highest-dimension links, each slab internally untouched); when there
+// are more shards than slabs, each slab recurses into the next dimension
+// down with its proportional share of shards. This beats blind
+// contiguous ranges whenever the shard count does not divide the slab
+// count — contiguous boundaries then land mid-slab and shred every
+// dimension at once — and beats a round-robin (modulo) split everywhere
+// except the degenerate single-switch-dimension case, where the switches
+// form one complete graph and all balanced cuts cost the same.
+func (f *FBFLY) Partition(shards int) []int {
+	if shards < 1 || shards > f.numSwitches {
+		return nil
+	}
+	assign := make([]int, f.numSwitches)
+	f.cut(assign, f.D-1, 0, f.numSwitches, 0, shards)
+	return assign
+}
+
+// cut assigns shards [shLo, shHi) to switch indices [lo, hi), a range
+// spanning whole coordinate slabs of dimension dim and below. The
+// invariant shHi-shLo <= hi-lo (at most one shard per switch) holds at
+// every level because shares are proportional.
+func (f *FBFLY) cut(assign []int, dim, lo, hi, shLo, shHi int) {
+	nsh := shHi - shLo
+	if nsh <= 1 || dim < 0 {
+		for sw := lo; sw < hi; sw++ {
+			assign[sw] = shLo + (sw-lo)*nsh/(hi-lo)
+		}
+		return
+	}
+	stride := f.strides[dim]
+	slabs := (hi - lo) / stride
+	if nsh < slabs {
+		// Fewer shards than slabs: balanced runs of whole slabs; only
+		// dimension-dim links are cut.
+		for s := 0; s < slabs; s++ {
+			sh := shLo + s*nsh/slabs
+			for sw := lo + s*stride; sw < lo+(s+1)*stride; sw++ {
+				assign[sw] = sh
+			}
+		}
+		return
+	}
+	// At least one shard per slab: give each slab its proportional share
+	// and recurse into the next dimension down.
+	for s := 0; s < slabs; s++ {
+		f.cut(assign, dim-1, lo+s*stride, lo+(s+1)*stride,
+			shLo+s*nsh/slabs, shLo+(s+1)*nsh/slabs)
+	}
+}
+
+// Partition implements Partitioner for the three-tier Clos: a pod cut.
+// Pods — each pod's K/2 edge and K/2 aggregation switches together —
+// map to balanced contiguous shard runs, so every edge<->aggregation
+// channel stays internal; core switches, which belong to no pod, spread
+// over shards in the same proportion. Contiguous index ranges are
+// terrible here (they separate the edge block from the aggregation
+// block, crossing every intra-pod channel). For shards > pods a pod
+// would have to split and structure stops helping: return nil and let
+// the caller fall back.
+func (c *Clos3) Partition(shards int) []int {
+	pods := c.K
+	if shards < 1 || shards > pods {
+		return nil
+	}
+	assign := make([]int, c.NumSwitches())
+	for sw := 0; sw < 2*c.edges; sw++ {
+		assign[sw] = c.PodOf(sw) * shards / pods
+	}
+	for i := 0; i < c.cores; i++ {
+		assign[c.CoreSwitch(i)] = i * shards / c.cores
+	}
+	return assign
+}
+
+// Partition implements Partitioner for the leaf/spine fat tree:
+// proportional slices. Every leaf wires to every spine, so no cut
+// avoids leaf-spine channels entirely; the best balanced cut co-locates
+// a 1/shards slice of leaves with the matching slice of spines (keeping
+// a 1/shards fraction of channels internal) instead of separating the
+// leaf block from the spine block the way contiguous switch indices do.
+func (t *FatTree) Partition(shards int) []int {
+	if shards < 1 || shards > t.Leaves || shards > t.Spines {
+		return nil
+	}
+	assign := make([]int, t.NumSwitches())
+	for l := 0; l < t.Leaves; l++ {
+		assign[l] = l * shards / t.Leaves
+	}
+	for s := 0; s < t.Spines; s++ {
+		assign[t.Leaves+s] = s * shards / t.Spines
+	}
+	return assign
+}

@@ -1,0 +1,178 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+)
+
+// roundRobin is the structure-blind strawman the structure-aware cuts
+// are measured against: switch sw to shard sw % shards.
+func roundRobin(numSwitches, shards int) []int {
+	assign := make([]int, numSwitches)
+	for sw := range assign {
+		assign[sw] = sw % shards
+	}
+	return assign
+}
+
+// matrixTopologies mirrors the root determinism matrix: the three
+// topologies every sharded run must reproduce byte-identically.
+func matrixTopologies() map[string]Topology {
+	return map[string]Topology{
+		"fbfly":   MustFBFLY(8, 2, 8),
+		"fattree": MustFatTree(6, 6, 6),
+		"clos3":   MustClos3(4),
+	}
+}
+
+// TestPartitionOfValid checks PartitionOf always yields a full, in-range
+// assignment with every shard populated, including shard counts the
+// structure-aware partitioners decline (falling back to contiguous).
+func TestPartitionOfValid(t *testing.T) {
+	for name, tp := range matrixTopologies() {
+		for _, shards := range []int{1, 2, 3, 4, 8, tp.NumSwitches()} {
+			if shards > tp.NumSwitches() {
+				continue
+			}
+			assign := PartitionOf(tp, shards)
+			if !validPartition(assign, tp.NumSwitches(), shards) {
+				t.Errorf("%s shards=%d: invalid assignment %v", name, shards, assign)
+			}
+		}
+	}
+}
+
+// TestPartitionDeterministic checks the assignment is a pure function
+// of topology and shard count — a requirement for reproducible runs.
+func TestPartitionDeterministic(t *testing.T) {
+	for name, tp := range matrixTopologies() {
+		for _, shards := range []int{2, 4, 8} {
+			a := PartitionOf(tp, shards)
+			b := PartitionOf(tp, shards)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s shards=%d: assignment not deterministic", name, shards)
+			}
+		}
+	}
+}
+
+// TestPartitionCutQuality measures the structure-aware cuts against the
+// round-robin strawman: strictly better where structure can genuinely
+// win, never worse at any shard count the structure supports.
+//
+// Where strictness is impossible, symmetry is why. A single-switch-
+// dimension butterfly is one complete graph and a fat tree is complete
+// bipartite: every balanced cut severs the same channel count. And on a
+// k-ary flat, round-robin with shards dividing k is accidentally a
+// perfect dimension-0 cut — arithmetically the mirror image of the slab
+// cut of the highest dimension. Structure wins outright when the shard
+// count does not divide a dimension (round-robin then shreds every
+// dimension while the slab cut adapts) and on Clos pods (where
+// contiguous and round-robin splits both cross intra-pod channels).
+func TestPartitionCutQuality(t *testing.T) {
+	strict := []struct {
+		name   string
+		tp     Topology
+		shards int
+	}{
+		// Shard counts not dividing k=4: slabs beat scattering.
+		{"fbfly 4-ary 3-flat", MustFBFLY(4, 3, 4), 3},
+		{"fbfly 4-ary 3-flat", MustFBFLY(4, 3, 4), 6},
+		// Clos pods: keeping edge<->agg channels internal always wins.
+		{"clos3 k=4", MustClos3(4), 2},
+		{"clos3 k=4", MustClos3(4), 4},
+		{"clos3 k=8", MustClos3(8), 4},
+	}
+	for _, tc := range strict {
+		smart, total := CrossShardChannels(tc.tp, PartitionOf(tc.tp, tc.shards))
+		rr, _ := CrossShardChannels(tc.tp, roundRobin(tc.tp.NumSwitches(), tc.shards))
+		if smart >= rr {
+			t.Errorf("%s shards=%d: structure-aware cut %d/%d not better than round-robin %d",
+				tc.name, tc.shards, smart, total, rr)
+		}
+	}
+	// The determinism-matrix topologies, at every shard count their
+	// structure supports (beyond that the partitioners decline and the
+	// plain contiguous fallback applies): never worse than round-robin.
+	supported := map[string][]int{
+		"fbfly":   {2, 4, 8}, // dimension cut handles any count
+		"fattree": {2, 3, 6}, // proportional slices up to min(leaves, spines)
+		"clos3":   {2, 4},    // pod cut up to the pod count
+	}
+	for name, tp := range matrixTopologies() {
+		for _, shards := range supported[name] {
+			smart, total := CrossShardChannels(tp, PartitionOf(tp, shards))
+			rr, _ := CrossShardChannels(tp, roundRobin(tp.NumSwitches(), shards))
+			if smart > rr {
+				t.Errorf("%s shards=%d: structure-aware cut %d/%d worse than round-robin %d",
+					name, shards, smart, total, rr)
+			}
+		}
+	}
+}
+
+// TestFBFLYDimensionCut pins the shape of the butterfly cut: with the
+// shard count dividing the highest dimension, the assignment is exactly
+// whole coordinate slabs of that dimension, severing only
+// highest-dimension links.
+func TestFBFLYDimensionCut(t *testing.T) {
+	f := MustFBFLY(4, 3, 4) // 16 switches, dims (stride 1, stride 4)
+	assign := PartitionOf(f, 4)
+	for sw := 0; sw < f.NumSwitches(); sw++ {
+		if want := f.Coord(sw, 1); assign[sw] != want {
+			t.Fatalf("sw %d: shard %d, want top-dimension coordinate %d", sw, assign[sw], want)
+		}
+	}
+	// Only top-dimension links cross: each slab's dimension-0 clique is
+	// internal, so cross = all dimension-1 channels = 4 dimension-0
+	// positions x K*(K-1) directed pairs = 48.
+	if cross, _ := CrossShardChannels(f, assign); cross != 48 {
+		t.Errorf("dimension cut crosses %d channels, want 48 (all dim-1)", cross)
+	}
+}
+
+// TestClos3PodCut pins the pod cut: pods are atomic (no intra-pod
+// channel crosses) for every shard count up to the pod count, and the
+// partitioner declines beyond it.
+func TestClos3PodCut(t *testing.T) {
+	c := MustClos3(4)
+	for _, shards := range []int{2, 4} {
+		assign := c.Partition(shards)
+		if !validPartition(assign, c.NumSwitches(), shards) {
+			t.Fatalf("shards=%d: invalid assignment %v", shards, assign)
+		}
+		for sw := 0; sw < c.NumSwitches(); sw++ {
+			if c.IsCore(sw) {
+				continue
+			}
+			pod := c.PodOf(sw)
+			if want := assign[c.EdgeSwitch(pod, 0)]; assign[sw] != want {
+				t.Errorf("shards=%d: sw %d (pod %d) on shard %d, pod anchor on %d",
+					shards, sw, pod, assign[sw], want)
+			}
+		}
+	}
+	if got := c.Partition(8); got != nil {
+		t.Errorf("shards beyond pod count should decline, got %v", got)
+	}
+	// The fallback still covers that case.
+	if assign := PartitionOf(c, 8); !validPartition(assign, c.NumSwitches(), 8) {
+		t.Errorf("fallback for shards=8 invalid: %v", assign)
+	}
+}
+
+// TestFatTreePartitionCoLocates pins the leaf/spine slices: contiguous
+// indices would put every leaf opposite every spine (all channels
+// cross); the proportional slices keep a 1/shards fraction internal.
+func TestFatTreePartitionCoLocates(t *testing.T) {
+	ft := MustFatTree(4, 8, 8)
+	assign := PartitionOf(ft, 2)
+	cross, total := CrossShardChannels(ft, assign)
+	contCross, _ := CrossShardChannels(ft, ContiguousPartition(ft.NumSwitches(), 2))
+	if contCross != total {
+		t.Fatalf("contiguous split should cross everything: %d/%d", contCross, total)
+	}
+	if cross*2 != total {
+		t.Errorf("proportional slices cross %d/%d, want half", cross, total)
+	}
+}

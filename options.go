@@ -124,8 +124,9 @@ func WithSeed(seed int64) Option {
 	return func(cfg *Config) { cfg.Seed = seed }
 }
 
-// WithShards partitions the simulation across n lockstep workers (see
-// Config.Shards). Results stay byte-identical to the serial run.
+// WithShards partitions the simulation across n windowed workers (see
+// Config.Shards): 0 = auto (one per CPU, capped by topology size),
+// 1 = serial. Results stay byte-identical to the serial run.
 func WithShards(n int) Option {
 	return func(cfg *Config) { cfg.Shards = n }
 }
