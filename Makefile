@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-compare fmt fmt-check experiments smoke-faults observe-demo
+.PHONY: all build test race vet bench bench-json bench-compare fmt fmt-check experiments smoke-faults observe-demo profile-demo
 
 all: build test
 
@@ -67,3 +67,15 @@ observe-demo:
 		-hist-out /tmp/epnet-observe/hist.csv \
 		-attribution -listen 127.0.0.1:0
 	@ls -l /tmp/epnet-observe
+
+# Engine self-profiling end to end: a sharded run with the partition
+# line (-v), the critical-path report (-profile), and the JSON export
+# (-profile-out), plus the live /profile endpoint test. Files land in
+# /tmp/epnet-profile.
+profile-demo:
+	mkdir -p /tmp/epnet-profile
+	$(GO) run ./cmd/epsim -workload search -duration 1ms -warmup 200us \
+		-shards 4 -v -profile \
+		-profile-out /tmp/epnet-profile/profile.json
+	$(GO) test -run 'TestInspectorProfileEndpoint|TestProfileOutFormats' -v .
+	@ls -l /tmp/epnet-profile

@@ -20,9 +20,14 @@
 // with /shards=N sub-results additionally get a shard-scaling section:
 // speedup@N = MB/s(N) / MB/s(1) and efficiency = speedup@N / N, with
 // low efficiency flagged only when the recording machine actually had N
-// cores to offer. The exit status stays 0 — benchmark noise across
-// machines makes a hard gate counterproductive, so the report is
-// advisory and CI runs it report-only.
+// cores to offer. Benchmarks that report engine self-profile metrics
+// (barrier% barrier overhead and weff% window efficiency, emitted by
+// BenchmarkShardedThroughput) get an engine-profile section, flagging
+// barrier overhead that grew by more than 10 percentage points over the
+// baseline; baselines recorded before the metrics existed show "(new)".
+// The exit status stays 0 — benchmark noise across machines makes a
+// hard gate counterproductive, so the report is advisory and CI runs it
+// report-only.
 package main
 
 import (
@@ -44,6 +49,8 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
 	Cpus        float64 `json:"cpus,omitempty"`
+	BarrierPct  float64 `json:"barrier_pct,omitempty"`
+	WindowEff   float64 `json:"window_eff_pct,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
@@ -73,6 +80,10 @@ func parseLine(line string) (Result, bool) {
 			res.MBPerSec = v
 		case "cpus":
 			res.Cpus = v
+		case "barrier%":
+			res.BarrierPct = v
+		case "weff%":
+			res.WindowEff = v
 		case "B/op":
 			res.BytesPerOp = int64(v)
 		case "allocs/op":
@@ -236,6 +247,40 @@ func shardScaling(w io.Writer, current []Result) {
 	}
 }
 
+// engineProfile prints the engine self-profile section for every
+// benchmark that reported a barrier% metric: barrier overhead (the
+// fraction of wall time outside the per-round critical path) and window
+// efficiency (simulated advance used / granted). With a baseline,
+// barrier overhead that grew by more than 10 percentage points is
+// flagged; baselines recorded before the metrics existed (or new
+// benchmarks) show "(new)". Serial (shards=1) rows naturally report ~0
+// barrier overhead and anchor the table. Advisory, like the rest.
+func engineProfile(w io.Writer, current []Result, base map[string]Result) {
+	const growth = 10.0 // percentage points of barrier overhead
+	header := false
+	for _, cur := range current {
+		if cur.BarrierPct == 0 && cur.WindowEff == 0 {
+			continue
+		}
+		if !header {
+			fmt.Fprintf(w, "\nengine profile (barrier overhead / window efficiency):\n")
+			fmt.Fprintf(w, "%-52s %10s %10s %8s\n", "benchmark", "base barr%", "barrier%", "weff%")
+			header = true
+		}
+		old, ok := base[cur.Name]
+		flag := ""
+		baseCol := "(new)"
+		if ok && (old.BarrierPct != 0 || old.WindowEff != 0) {
+			baseCol = fmt.Sprintf("%.1f", old.BarrierPct)
+			if cur.BarrierPct-old.BarrierPct > growth {
+				flag = fmt.Sprintf("  BARRIER +%.1fpp", cur.BarrierPct-old.BarrierPct)
+			}
+		}
+		fmt.Fprintf(w, "%-52s %10s %10.1f %8.1f%s\n",
+			cur.Name, baseCol, cur.BarrierPct, cur.WindowEff, flag)
+	}
+}
+
 func main() {
 	baseline := flag.String("compare", "", "baseline JSON Lines file: print a ns/op delta report instead of JSON")
 	threshold := flag.Float64("threshold", 0.10, "regression threshold as a fraction of baseline ns/op")
@@ -254,6 +299,7 @@ func main() {
 		}
 		compare(os.Stdout, current, base, *threshold)
 		shardScaling(os.Stdout, current)
+		engineProfile(os.Stdout, current, base)
 		return
 	}
 	enc := json.NewEncoder(os.Stdout)

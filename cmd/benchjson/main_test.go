@@ -40,6 +40,12 @@ func TestParseLine(t *testing.T) {
 	if !ok || res.NsPerOp != 52.1 || res.Iterations != 1000000 {
 		t.Errorf("minimal line: ok=%v res=%+v", ok, res)
 	}
+
+	// Engine self-profile metrics from BenchmarkShardedThroughput.
+	res, ok = parseLine("BenchmarkShardedThroughput/shards=4-8 12 90000 ns/op 33.1 barrier% 4 cpus 88.7 weff%")
+	if !ok || res.BarrierPct != 33.1 || res.WindowEff != 88.7 || res.Cpus != 4 {
+		t.Errorf("profile metrics: ok=%v res=%+v", ok, res)
+	}
 }
 
 // TestCompare exercises the baseline diff report: stable results, a
@@ -127,6 +133,49 @@ func TestShardScaling(t *testing.T) {
 	shardScaling(&sb, current[1:3])
 	if sb.Len() != 0 {
 		t.Errorf("report without shards=1 anchor should be empty:\n%s", sb.String())
+	}
+}
+
+// TestEngineProfile exercises the engine-profile section: growth beyond
+// 10 percentage points of barrier overhead flagged, drift within it
+// not, baselines without the metrics reported "(new)", and no section
+// at all when nothing reported the metrics.
+func TestEngineProfile(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkShardedThroughput/shards=2-4": {Name: "BenchmarkShardedThroughput/shards=2-4", BarrierPct: 20, WindowEff: 90},
+		"BenchmarkShardedThroughput/shards=4-4": {Name: "BenchmarkShardedThroughput/shards=4-4", BarrierPct: 25, WindowEff: 85},
+		"BenchmarkShardedThroughput/shards=8-4": {Name: "BenchmarkShardedThroughput/shards=8-4"}, // pre-profile baseline
+	}
+	current := []Result{
+		{Name: "BenchmarkShardedThroughput/shards=2-4", BarrierPct: 25, WindowEff: 91},
+		{Name: "BenchmarkShardedThroughput/shards=4-4", BarrierPct: 45, WindowEff: 70},
+		{Name: "BenchmarkShardedThroughput/shards=8-4", BarrierPct: 60, WindowEff: 50},
+		{Name: "BenchmarkNetworkThroughput-4", NsPerOp: 100}, // no profile metrics
+	}
+	var sb strings.Builder
+	engineProfile(&sb, current, base)
+	out := sb.String()
+	if !strings.Contains(out, "engine profile") {
+		t.Fatalf("missing profile section:\n%s", out)
+	}
+	if got := strings.Count(out, "BARRIER"); got != 1 {
+		t.Errorf("want exactly one BARRIER flag (shards=4 grew 20pp), got %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "BARRIER +20.0pp") {
+		t.Errorf("flag should carry the growth:\n%s", out)
+	}
+	if !strings.Contains(out, "(new)") {
+		t.Errorf("pre-profile baseline should read (new):\n%s", out)
+	}
+	if strings.Contains(out, "BenchmarkNetworkThroughput-4") {
+		t.Errorf("benchmark without profile metrics listed:\n%s", out)
+	}
+
+	// No metrics anywhere: no section header.
+	sb.Reset()
+	engineProfile(&sb, []Result{{Name: "BenchmarkX", NsPerOp: 5}}, nil)
+	if sb.Len() != 0 {
+		t.Errorf("section printed with no profile metrics:\n%s", sb.String())
 	}
 }
 

@@ -56,7 +56,10 @@ func main() {
 	heatmapOut := flag.String("heatmap-out", "", "write the per-link utilization x time heatmap CSV to this file")
 	histOut := flag.String("hist-out", "", "write the link-utilization histogram CSV (Fig 8 view) to this file")
 	attribution := flag.Bool("attribution", false, "print the per-link energy attribution (top consumers)")
-	listen := flag.String("listen", "", `serve live inspection HTTP on this address (e.g. ":9090" or "127.0.0.1:0"): /metrics, /snapshot, /debug/pprof/`)
+	profile := flag.Bool("profile", false, "self-profile the engine and print the critical-path report (per-shard stalls, window efficiency, barrier overhead)")
+	profileOut := flag.String("profile-out", "", "write the engine self-profile to this file (JSON, or CSV with a .csv extension); implies -profile collection")
+	verbose := flag.Bool("v", false, "print the shard partition (cut quality, lookahead range) at startup")
+	listen := flag.String("listen", "", `serve live inspection HTTP on this address (e.g. ":9090" or "127.0.0.1:0"): /metrics, /snapshot, /profile, /debug/pprof/`)
 	flag.Parse()
 
 	// With -preset, only flags the user actually set override the
@@ -107,6 +110,8 @@ func main() {
 	apply("heatmap-out", func() { cfg.HeatmapOut = *heatmapOut })
 	apply("hist-out", func() { cfg.HistOut = *histOut })
 	apply("attribution", func() { cfg.Attribution = *attribution })
+	apply("profile", func() { cfg.Profile = *profile })
+	apply("profile-out", func() { cfg.ProfileOut = *profileOut })
 
 	if *listen != "" {
 		insp, addr, err := epnet.StartInspector(*listen)
@@ -121,6 +126,28 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "epsim:", err)
 		os.Exit(1)
+	}
+	if *verbose {
+		part, err := epnet.Partition(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "epsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "epsim: %v\n", part)
+		if m := part.Lookahead; len(m) > 1 && len(m) <= 8 {
+			fmt.Fprintln(os.Stderr, "epsim: lookahead matrix (rows=src shard):")
+			for i, row := range m {
+				fmt.Fprintf(os.Stderr, "epsim:   %d:", i)
+				for _, v := range row {
+					if v < 0 {
+						fmt.Fprint(os.Stderr, "     -")
+						continue
+					}
+					fmt.Fprintf(os.Stderr, " %v", v)
+				}
+				fmt.Fprintln(os.Stderr)
+			}
+		}
 	}
 	start := time.Now()
 	res, err := epnet.Run(cfg)
@@ -212,6 +239,12 @@ func main() {
 			fmt.Printf("  %-10v power %5.1f%% %-30s load %5.1f%% %s\n",
 				s.At, s.Measured*100, bars(s.Measured, 30),
 				s.Util*100, bars(s.Util, 30))
+		}
+	}
+	if res.Profile != nil {
+		if err := res.Profile.WriteReport(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "epsim:", err)
+			os.Exit(1)
 		}
 	}
 	fmt.Printf("wall time : %v\n", elapsed.Round(time.Millisecond))

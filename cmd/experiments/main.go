@@ -46,6 +46,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "per-simulation Chrome trace base path, suffixed like -metrics-out")
 	heatmapOut := flag.String("heatmap-out", "", "per-simulation utilization heatmap CSV base path, suffixed like -metrics-out")
 	histOut := flag.String("hist-out", "", "per-simulation utilization histogram CSV base path, suffixed like -metrics-out")
+	profileOut := flag.String("profile-out", "", "per-simulation engine self-profile base path (JSON, or CSV with a .csv extension), suffixed like -metrics-out")
 	sampleInterval := flag.Duration("sample-interval", 0, "metrics sampling period (default: one epoch)")
 	listen := flag.String("listen", "", `serve live inspection HTTP on this address (e.g. ":9090"); endpoints follow the most recently sampled simulation`)
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the harness to this file")
@@ -69,12 +70,14 @@ func main() {
 	eval.FaultMTTR = *faultMTTR
 	eval.Parallel = *par
 	eval.Shards = *shards
-	if *metricsOut != "" || *traceOut != "" || *heatmapOut != "" || *histOut != "" || *listen != "" {
+	if *metricsOut != "" || *traceOut != "" || *heatmapOut != "" || *histOut != "" ||
+		*profileOut != "" || *listen != "" {
 		eval.Telemetry = &epnet.TelemetryOpts{
 			MetricsOut:     *metricsOut,
 			TraceOut:       *traceOut,
 			HeatmapOut:     *heatmapOut,
 			HistOut:        *histOut,
+			ProfileOut:     *profileOut,
 			SampleInterval: *sampleInterval,
 		}
 		if *listen != "" {

@@ -51,6 +51,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "per-run Chrome trace base path, suffixed like -metrics-out")
 	heatmapOut := flag.String("heatmap-out", "", "per-run utilization heatmap CSV base path, suffixed like -metrics-out")
 	histOut := flag.String("hist-out", "", "per-run utilization histogram CSV base path, suffixed like -metrics-out")
+	profileOut := flag.String("profile-out", "", "per-run engine self-profile base path (JSON, or CSV with a .csv extension), suffixed like -metrics-out")
 	sampleInterval := flag.Duration("sample-interval", 0, "metrics sampling period (default: one epoch)")
 	listen := flag.String("listen", "", `serve live inspection HTTP on this address (e.g. ":9090"); endpoints follow the most recently sampled run`)
 	flag.Parse()
@@ -146,6 +147,7 @@ func main() {
 		TraceOut:       *traceOut,
 		HeatmapOut:     *heatmapOut,
 		HistOut:        *histOut,
+		ProfileOut:     *profileOut,
 		SampleInterval: *sampleInterval,
 	}
 	if *listen != "" {

@@ -1,6 +1,7 @@
 package epnet
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -21,7 +22,9 @@ type matrixCase struct {
 // returning the Result and the raw bytes of the sampled metrics series.
 // The metrics file exercises the whole telemetry path — registry
 // closures, merged latency histogram view, sampler — under sharding.
-func runMatrixCell(t *testing.T, mc matrixCase, shards int, dir string) (Result, []byte) {
+// With profile set, engine self-profiling runs too (and must not show
+// up anywhere but Result.Profile and its own output file).
+func runMatrixCell(t *testing.T, mc matrixCase, shards int, dir string, profile bool) (Result, []byte) {
 	t.Helper()
 	cfg := DefaultConfig()
 	cfg.Workload = WorkloadUniform
@@ -33,6 +36,10 @@ func runMatrixCell(t *testing.T, mc matrixCase, shards int, dir string) (Result,
 	cfg.Shards = shards
 	cfg.Attribution = true
 	cfg.MetricsOut = filepath.Join(dir, "metrics.csv")
+	if profile {
+		cfg.Profile = true
+		cfg.ProfileOut = filepath.Join(dir, "profile.json")
+	}
 	if mc.faults {
 		cfg.FaultRate = 20 // expected events per simulated ms
 	}
@@ -45,6 +52,23 @@ func runMatrixCell(t *testing.T, mc matrixCase, shards int, dir string) (Result,
 	if err != nil {
 		t.Fatalf("%s shards=%d: %v", mc.name, shards, err)
 	}
+	if profile {
+		if res.Profile == nil {
+			t.Fatalf("%s shards=%d: Config.Profile set but Result.Profile is nil", mc.name, shards)
+		}
+		var out EngineProfile
+		data, err := os.ReadFile(cfg.ProfileOut)
+		if err != nil {
+			t.Fatalf("%s shards=%d: %v", mc.name, shards, err)
+		}
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("%s shards=%d: profile output is not valid JSON: %v", mc.name, shards, err)
+		}
+		if len(out.Shards) != len(res.Profile.Shards) {
+			t.Fatalf("%s shards=%d: profile file has %d shards, Result.Profile %d",
+				mc.name, shards, len(out.Shards), len(res.Profile.Shards))
+		}
+	}
 	return res, series
 }
 
@@ -52,7 +76,11 @@ func runMatrixCell(t *testing.T, mc matrixCase, shards int, dir string) (Result,
 // guarantee: across topologies, with link retuning always on and with
 // and without a seeded fault process, every shard count must reproduce
 // the serial run's Result and its sampled telemetry series byte for
-// byte. Only Config.Shards itself may differ.
+// byte. Only Config.Shards itself may differ. The sharded cells run
+// with engine self-profiling enabled while the serial anchor does not,
+// so the same comparison also proves the profiler never perturbs the
+// deterministic outputs (Result.Profile is wall-clock data and is
+// normalized away, like the config fields that legitimately differ).
 func TestShardDeterminismMatrix(t *testing.T) {
 	if testing.Short() {
 		t.Skip("matrix of full runs")
@@ -77,7 +105,7 @@ func TestShardDeterminismMatrix(t *testing.T) {
 				name = mc.name + "/faults"
 			}
 			t.Run(name, func(t *testing.T) {
-				want, wantSeries := runMatrixCell(t, mc, 1, t.TempDir())
+				want, wantSeries := runMatrixCell(t, mc, 1, t.TempDir(), false)
 				if want.DeliveredPackets == 0 {
 					t.Fatal("serial run delivered nothing")
 				}
@@ -85,12 +113,17 @@ func TestShardDeterminismMatrix(t *testing.T) {
 					t.Fatal("fault case injected no faults")
 				}
 				for _, shards := range []int{2, 4, 8} {
-					got, gotSeries := runMatrixCell(t, mc, shards, t.TempDir())
+					got, gotSeries := runMatrixCell(t, mc, shards, t.TempDir(), true)
 					// The recorded Config legitimately differs in the
-					// shard count and the per-run temp output path;
-					// normalize both before the deep compare.
+					// shard count, the per-run temp output paths, and
+					// the profiling switches; Result.Profile itself is
+					// wall-clock measurement, not simulation output.
+					// Normalize all of it before the deep compare.
 					got.Config.Shards = want.Config.Shards
 					got.Config.MetricsOut = want.Config.MetricsOut
+					got.Config.Profile = want.Config.Profile
+					got.Config.ProfileOut = want.Config.ProfileOut
+					got.Profile = nil
 					if !reflect.DeepEqual(want, got) {
 						t.Errorf("shards=%d: Result diverges from serial\nserial: %+v\nshards: %+v",
 							shards, want, got)

@@ -229,6 +229,21 @@ type Config struct {
 	// Result compact at paper scale (thousands of channels).
 	Attribution bool
 
+	// Profile, when true, self-profiles the simulation engine and
+	// populates Result.Profile: per-shard wall-clock busy / barrier-wait
+	// / idle time, granted-vs-used window width, the cross-shard
+	// exchange matrix, and a critical-path report identifying which
+	// shard set each window barrier. Collection happens strictly outside
+	// the deterministic simulation path (at window and barrier
+	// granularity, never per packet), so every other Result field and
+	// every telemetry CSV is byte-identical with profiling on or off.
+	Profile bool
+
+	// ProfileOut, when non-empty, writes the engine profile to this path
+	// at the end of the run — JSON by default, a per-shard CSV when the
+	// path ends in ".csv" — and implies Profile.
+	ProfileOut string
+
 	// Inspector, when non-nil, receives a Prometheus scrape body and a
 	// JSON per-entity snapshot at every sample tick, for live HTTP
 	// inspection of a running simulation (see NewInspector). Excluded
@@ -570,6 +585,13 @@ type Result struct {
 	// across channels and each channel is charged its share scaled by
 	// its occupancy-weighted relative power under the measured profile.
 	Attribution []LinkAttribution
+
+	// Profile is the engine self-profile (populated only when
+	// Config.Profile or Config.ProfileOut is set). Unlike every other
+	// field it contains wall-clock measurements and is therefore not
+	// deterministic — determinism comparisons must ignore it (all other
+	// fields stay byte-identical with profiling on or off).
+	Profile *EngineProfile
 }
 
 // LinkAttribution is one channel's slice of the run's energy and

@@ -57,6 +57,7 @@ type TelemetryOpts struct {
 	TraceOut       string // base path for Chrome trace files ("" = off)
 	HeatmapOut     string // base path for utilization heatmap CSVs ("" = off)
 	HistOut        string // base path for utilization histogram CSVs ("" = off)
+	ProfileOut     string // base path for engine self-profiles ("" = off)
 	SampleInterval time.Duration
 
 	// Inspector, when non-nil, is shared by every simulation of the
@@ -77,7 +78,7 @@ func numberedPath(path string, n int) string {
 // It is a no-op on a nil receiver or when every output is disabled.
 func (t *TelemetryOpts) Apply(cfgs []Config) {
 	if t == nil || (t.MetricsOut == "" && t.TraceOut == "" && t.HeatmapOut == "" &&
-		t.HistOut == "" && t.Inspector == nil) {
+		t.HistOut == "" && t.ProfileOut == "" && t.Inspector == nil) {
 		return
 	}
 	for i := range cfgs {
@@ -96,6 +97,9 @@ func (t *TelemetryOpts) Apply(cfgs []Config) {
 		}
 		if t.HistOut != "" {
 			cfgs[i].HistOut = numberedPath(t.HistOut, n)
+		}
+		if t.ProfileOut != "" {
+			cfgs[i].ProfileOut = numberedPath(t.ProfileOut, n)
 		}
 	}
 }

@@ -11,7 +11,8 @@ import (
 // Inspector exposes a running simulation over HTTP: a Prometheus
 // text-format scrape of the telemetry registry at /metrics, a JSON
 // per-entity snapshot (link rates, power, queue depths, live outages)
-// at /snapshot, and net/http/pprof under /debug/pprof/.
+// at /snapshot, the live engine self-profile at /profile (when
+// Config.Profile is on), and net/http/pprof under /debug/pprof/.
 //
 // The engine thread renders both documents to bytes at every sampler
 // tick and publishes them with one atomic pointer swap; HTTP handlers
@@ -24,10 +25,12 @@ type Inspector struct {
 	cur atomic.Pointer[inspection]
 }
 
-// inspection is one published (scrape, snapshot) pair.
+// inspection is one published (scrape, snapshot, profile) triple; prof
+// is nil when the publishing run has profiling off.
 type inspection struct {
 	prom []byte
 	snap []byte
+	prof []byte
 }
 
 // NewInspector returns an Inspector with nothing published yet. Hand
@@ -39,8 +42,8 @@ func NewInspector() *Inspector {
 
 // publish atomically replaces the served documents. Called on the
 // engine thread at every sample.
-func (i *Inspector) publish(prom, snap []byte) {
-	i.cur.Store(&inspection{prom: prom, snap: snap})
+func (i *Inspector) publish(prom, snap, prof []byte) {
+	i.cur.Store(&inspection{prom: prom, snap: snap, prof: prof})
 }
 
 // PrometheusText returns the latest published scrape body, or nil if
@@ -61,6 +64,15 @@ func (i *Inspector) SnapshotJSON() []byte {
 	return nil
 }
 
+// ProfileJSON returns the latest published engine self-profile, or nil
+// if no run has sampled yet or the sampling run has profiling off.
+func (i *Inspector) ProfileJSON() []byte {
+	if p := i.cur.Load(); p != nil {
+		return p.prof
+	}
+	return nil
+}
+
 // Handler returns the inspection mux: /, /metrics, /snapshot, and
 // /debug/pprof/.
 func (i *Inspector) Handler() http.Handler {
@@ -74,6 +86,7 @@ func (i *Inspector) Handler() http.Handler {
 		fmt.Fprint(w, "epnet inspector\n\n"+
 			"/metrics        Prometheus text-format scrape\n"+
 			"/snapshot       JSON per-entity state (links, switches, outages, power)\n"+
+			"/profile        JSON engine self-profile (requires Config.Profile)\n"+
 			"/debug/pprof/   Go runtime profiles\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -89,6 +102,16 @@ func (i *Inspector) Handler() http.Handler {
 		body := i.SnapshotJSON()
 		if body == nil {
 			http.Error(w, "no sample published yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	})
+	mux.HandleFunc("/profile", func(w http.ResponseWriter, r *http.Request) {
+		body := i.ProfileJSON()
+		if body == nil {
+			http.Error(w, "no profile published (enable Config.Profile / epsim -profile)",
+				http.StatusServiceUnavailable)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")

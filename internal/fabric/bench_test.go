@@ -8,6 +8,7 @@ import (
 
 	"epnet/internal/routing"
 	"epnet/internal/sim"
+	"epnet/internal/telemetry"
 	"epnet/internal/topo"
 )
 
@@ -74,6 +75,8 @@ func BenchmarkShardedThroughput(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer n.Close()
+			prof := telemetry.NewEngineProfiler(n.NumShards())
+			n.SetProfiler(prof)
 			numHosts := n.NumHosts()
 			rng := rand.New(rand.NewSource(1))
 			var horizon sim.Time
@@ -107,6 +110,12 @@ func BenchmarkShardedThroughput(b *testing.B) {
 			}
 			b.ReportMetric(float64(del-batch)/b.Elapsed().Seconds(), "pkts/sec")
 			b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+			// Self-profile metrics: barrier overhead and window
+			// efficiency feed benchjson's profile section, pointing
+			// at the stall source when the scaling curve is flat.
+			snap := prof.Snapshot()
+			b.ReportMetric(snap.BarrierOverhead()*100, "barrier%")
+			b.ReportMetric(snap.WindowEfficiency()*100, "weff%")
 		})
 	}
 }

@@ -182,6 +182,12 @@ type Network struct {
 	swShard []int
 	group   *ShardGroup
 
+	// prof, when set via SetProfiler, self-profiles the engine(s): wall
+	// time per window, barrier waits, exchange volume. Fed only at
+	// window/barrier granularity — nil or not, the per-packet path is
+	// identical.
+	prof *telemetry.EngineProfiler
+
 	// OnDeliver, when set, observes every delivered packet. On a sharded
 	// network it fires on the shard owning the destination host (see
 	// HostShard) — shards run concurrently, so the callback must keep

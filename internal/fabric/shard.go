@@ -3,8 +3,10 @@ package fabric
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"epnet/internal/sim"
+	"epnet/internal/telemetry"
 	"epnet/internal/topo"
 )
 
@@ -119,6 +121,15 @@ type shardRT struct {
 
 	win  windowReq // the window assigned this round
 	work chan windowReq
+
+	// Self-profiling (SetProfiler). The worker records its own window's
+	// cost into these single-writer fields; the coordinator folds them
+	// into the profiler after the barrier. profiled is set only while
+	// the group is quiescent.
+	profiled  bool
+	winWallNs int64
+	winEvents uint64
+	winUsedPs int64
 }
 
 func (rt *shardRT) stageTo(dst *shardRT, at sim.Time, key uint64, fn sim.ArgEvent, arg any, n int64) {
@@ -136,7 +147,28 @@ func (rt *shardRT) stageTo(dst *shardRT, at sim.Time, key uint64, fn sim.ArgEven
 }
 
 // runWindow executes one conservative window on the shard's engine.
+// When profiled it additionally records the window's wall time, events
+// executed, and the simulated advance actually used (last executed
+// event minus window start) — per window, never per event, so the
+// packet hot path is untouched.
 func (rt *shardRT) runWindow(w windowReq) {
+	if !rt.profiled {
+		rt.exec(w)
+		return
+	}
+	begin := rt.eng.Now()
+	p0 := rt.eng.Processed()
+	start := time.Now()
+	rt.exec(w)
+	rt.winWallNs = time.Since(start).Nanoseconds()
+	rt.winEvents = rt.eng.Processed() - p0
+	rt.winUsedPs = 0
+	if used := int64(rt.eng.LastEventAt() - begin); used > 0 {
+		rt.winUsedPs = used
+	}
+}
+
+func (rt *shardRT) exec(w windowReq) {
 	if w.inclusive {
 		rt.eng.RunUntil(w.end)
 	} else {
@@ -199,6 +231,11 @@ type ShardGroup struct {
 	done    chan struct{}
 	started bool
 	closed  bool
+
+	// Self-profiling (Network.SetProfiler): nil when off. winStart is
+	// per-round scratch holding each busy shard's clock at window grant.
+	prof     *telemetry.EngineProfiler
+	winStart []sim.Time
 }
 
 // NumShards returns the number of shards in the group.
@@ -238,15 +275,42 @@ func (g *ShardGroup) CutQuality() (cross, total int) {
 	return g.crossChans, g.interChans
 }
 
+// LookaheadRange returns the smallest and largest finite off-diagonal
+// entries of the lookahead matrix: the tightest and loosest coupling of
+// any shard pair. (0, 0) when no pair is finitely coupled.
+func (g *ShardGroup) LookaheadRange() (lo, hi sim.Time) {
+	lo = farAway
+	for j, row := range g.la {
+		for i, v := range row {
+			if i == j || v >= farAway {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if lo >= farAway {
+		lo = 0
+	}
+	return lo, hi
+}
+
 // start spawns the shard workers on first use.
 func (g *ShardGroup) start() {
 	if g.started {
 		return
 	}
-	g.started = true
 	if g.net.Tracer != nil {
+		// Panic before marking the group started: a deferred Close after
+		// this panic must not try to close worker channels that were
+		// never created.
 		panic("fabric: packet tracing requires a serial run (Shards=1)")
 	}
+	g.started = true
 	for _, rt := range g.rts {
 		rt.work = make(chan windowReq, 1)
 		go func(rt *shardRT) {
@@ -258,15 +322,22 @@ func (g *ShardGroup) start() {
 	}
 }
 
-// Close stops the shard workers. Idempotent; the group is unusable
-// afterwards. Networks built with Shards=1 have no group to close.
+// Close stops the shard workers. Idempotent — extra calls, including
+// after a start that panicked before spawning workers, are no-ops. The
+// group is unusable afterwards. Networks built with Shards=1 have no
+// group to close.
 func (g *ShardGroup) Close() {
-	if !g.started || g.closed {
+	if g.closed {
 		return
 	}
 	g.closed = true
+	if !g.started {
+		return
+	}
 	for _, rt := range g.rts {
-		close(rt.work)
+		if rt.work != nil {
+			close(rt.work)
+		}
 	}
 }
 
@@ -275,6 +346,10 @@ func (g *ShardGroup) Close() {
 // <= until executes, and all clocks park on until.
 func (g *ShardGroup) RunUntil(until sim.Time) {
 	g.start()
+	if g.prof != nil {
+		g.prof.RunStarted()
+		defer g.prof.RunStopped()
+	}
 	for {
 		// The floor is the earliest shard clock: the instant the whole
 		// simulation has provably completed. Every window end is capped
@@ -289,7 +364,7 @@ func (g *ShardGroup) RunUntil(until sim.Time) {
 				floor = t
 			}
 		}
-		g.ctrl.RunUntil(floor)
+		g.runCtrl(floor)
 		g.drainStages()
 
 		// Earliest pending work anywhere.
@@ -307,11 +382,26 @@ func (g *ShardGroup) RunUntil(until sim.Time) {
 			for _, rt := range g.rts {
 				rt.eng.AdvanceTo(until)
 			}
-			g.ctrl.RunUntil(until)
+			g.runCtrl(until)
 			return
 		}
 		g.round(until)
 	}
+}
+
+// runCtrl advances the control engine, timing the slice when profiling.
+// Control events run sampler ticks and therefore possibly a profile
+// snapshot, so the slice is accrued after the events execute — a mid-run
+// snapshot sees every completed slice plus the live wall span.
+func (g *ShardGroup) runCtrl(t sim.Time) {
+	if g.prof == nil {
+		g.ctrl.RunUntil(t)
+		return
+	}
+	t0 := time.Now()
+	p0 := g.ctrl.Processed()
+	g.ctrl.RunUntil(t)
+	g.prof.AddCtrl(time.Since(t0).Nanoseconds(), g.ctrl.Processed()-p0)
 }
 
 // round runs one set of per-shard conservative windows. Shard i's
@@ -338,6 +428,10 @@ func (g *ShardGroup) round(until sim.Time) {
 			g.next[i] = at
 		}
 	}
+	prof := g.prof
+	if prof != nil {
+		prof.BeginRound()
+	}
 	busy := g.busy[:0]
 	for i, rt := range g.rts {
 		w := ctrlNext
@@ -355,8 +449,14 @@ func (g *ShardGroup) round(until sim.Time) {
 		}
 		rt.win = req
 		if at := g.next[i]; at < req.end || (req.inclusive && at == req.end && at < farAway) {
+			if prof != nil {
+				g.winStart[i] = rt.eng.Now()
+			}
 			busy = append(busy, rt)
 		} else {
+			if prof != nil {
+				prof.ShardFastForward(i, int64(req.end-rt.eng.Now()))
+			}
 			rt.eng.AdvanceTo(req.end)
 		}
 	}
@@ -372,6 +472,15 @@ func (g *ShardGroup) round(until sim.Time) {
 			<-g.done
 		}
 	}
+	if prof != nil {
+		// Workers are parked again: fold their window numbers in and
+		// settle the round's laggard / barrier-wait attribution.
+		for _, rt := range busy {
+			granted := int64(rt.win.end - g.winStart[rt.id])
+			prof.ShardBusy(rt.id, granted, rt.winUsedPs, rt.winWallNs, rt.winEvents)
+		}
+		prof.EndRound()
+	}
 	g.drainStages()
 }
 
@@ -386,10 +495,27 @@ func (g *ShardGroup) round(until sim.Time) {
 // next — staging stays allocation-free in steady state at any shard
 // count.
 func (g *ShardGroup) drainStages() {
+	prof := g.prof
+	var t0 time.Time
+	if prof != nil {
+		t0 = time.Now()
+	}
 	for _, src := range g.rts {
 		for d, evs := range src.stage {
 			if len(evs) == 0 {
 				continue
+			}
+			if prof != nil {
+				// Count the exchange before the buffer is cleared: every
+				// staged event, and the packet payload bytes among them
+				// (credit returns carry no payload).
+				var bytes int64
+				for i := range evs {
+					if pkt, ok := evs[i].arg.(*Packet); ok {
+						bytes += int64(pkt.Size)
+					}
+				}
+				prof.Exchange(src.id, d, int64(len(evs)), bytes)
 			}
 			eng := g.rts[d].eng
 			for i := range evs {
@@ -411,6 +537,14 @@ func (g *ShardGroup) drainStages() {
 			}
 			src.msgDead[d] = ids[:0]
 		}
+	}
+	if prof != nil {
+		// Queue-depth high-water marks after the drain, so staged
+		// arrivals count toward the destination's depth.
+		for _, rt := range g.rts {
+			prof.NotePending(rt.id, rt.eng.Pending())
+		}
+		prof.AddDrain(time.Since(t0).Nanoseconds())
 	}
 }
 
@@ -543,11 +677,53 @@ func (n *Network) NumShards() int { return len(n.rts) }
 // this (the epnet runner does), because shards run concurrently.
 func (n *Network) HostShard(h int) int { return n.Hosts[h].rt.id }
 
+// SetProfiler attaches (or with nil, detaches) an engine self-profiler.
+// Call it while the network is quiescent — before the first RunUntil,
+// or between runs — never mid-run. The profiler observes the engine
+// from outside the deterministic path: all hooks run at window
+// granularity or at barriers, nothing registers with the telemetry
+// registry, so results and sampled CSVs are byte-identical with
+// profiling on or off.
+func (n *Network) SetProfiler(p *telemetry.EngineProfiler) {
+	n.prof = p
+	g := n.group
+	if g == nil {
+		return
+	}
+	g.prof = p
+	for _, rt := range g.rts {
+		rt.profiled = p != nil
+	}
+	if p != nil {
+		if g.winStart == nil {
+			g.winStart = make([]sim.Time, len(g.rts))
+		}
+		cross, total := g.CutQuality()
+		lo, hi := g.LookaheadRange()
+		p.SetPartition(cross, total, int64(lo), int64(hi))
+	}
+}
+
+// Profiler returns the attached engine self-profiler, or nil.
+func (n *Network) Profiler() *telemetry.EngineProfiler { return n.prof }
+
 // RunUntil advances the simulation to the given time: the shard group's
 // windowed loop when sharded, the engine directly when serial.
 func (n *Network) RunUntil(until sim.Time) {
 	if n.group != nil {
 		n.group.RunUntil(until)
+		return
+	}
+	if p := n.prof; p != nil {
+		// Serial profiled run: one engine, no rounds — the whole slice
+		// is shard 0 busy time (control and data share the engine).
+		t0 := time.Now()
+		p0 := n.E.Processed()
+		p.RunStarted()
+		n.E.RunUntil(until)
+		p.RunStopped()
+		p.AddSerial(time.Since(t0).Nanoseconds(), n.E.Processed()-p0)
+		p.NotePending(0, n.E.Pending())
 		return
 	}
 	n.E.RunUntil(until)

@@ -6,6 +6,7 @@ import (
 
 	"epnet/internal/routing"
 	"epnet/internal/sim"
+	"epnet/internal/telemetry"
 	"epnet/internal/topo"
 )
 
@@ -26,8 +27,10 @@ type shardFingerprint struct {
 }
 
 // runSharded drives one FBFLY run at the given shard count and returns
-// its fingerprint. faults exercises the fail/repair path mid-run.
-func runSharded(t *testing.T, shards int, faults bool) shardFingerprint {
+// its fingerprint. faults exercises the fail/repair path mid-run; prof,
+// when non-nil, is attached before the run (the fingerprint must not
+// notice).
+func runSharded(t *testing.T, shards int, faults bool, prof *telemetry.EngineProfiler) shardFingerprint {
 	t.Helper()
 	e := sim.New()
 	f := topo.MustFBFLY(8, 2, 8)
@@ -39,6 +42,9 @@ func runSharded(t *testing.T, shards int, faults bool) shardFingerprint {
 		t.Fatal(err)
 	}
 	defer n.Close()
+	if prof != nil {
+		n.SetProfiler(prof)
+	}
 
 	numHosts := n.NumHosts()
 	fp := shardFingerprint{
@@ -136,12 +142,12 @@ func TestShardedMatchesSerial(t *testing.T) {
 		if faults {
 			tag = "faults"
 		}
-		serial := runSharded(t, 1, faults)
+		serial := runSharded(t, 1, faults, nil)
 		if serial.deliveredPkts == 0 {
 			t.Fatalf("%s: serial run delivered nothing", tag)
 		}
 		for _, shards := range []int{2, 4, 8} {
-			got := runSharded(t, shards, faults)
+			got := runSharded(t, shards, faults, nil)
 			diffFingerprints(t, tag, serial, got)
 		}
 	}

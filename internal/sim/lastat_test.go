@@ -1,0 +1,36 @@
+package sim
+
+import "testing"
+
+// TestLastEventAt pins the semantics the engine profiler's used-width
+// measurement relies on: after a Run* call, LastEventAt is the
+// timestamp of the last event that call executed, or the clock at entry
+// when it executed none (so an empty window reads as zero use).
+func TestLastEventAt(t *testing.T) {
+	e := New()
+	e.At(10, func(Time) {})
+	e.At(30, func(Time) {})
+
+	e.RunUntil(50) // executes both, parks the clock on 50
+	if got := e.LastEventAt(); got != 30 {
+		t.Errorf("after RunUntil(50): LastEventAt = %v, want 30", got)
+	}
+	if e.Now() != 50 {
+		t.Errorf("Now = %v, want 50", e.Now())
+	}
+
+	e.RunUntil(80) // nothing pending: LastEventAt is the entry clock
+	if got := e.LastEventAt(); got != 50 {
+		t.Errorf("after empty RunUntil(80): LastEventAt = %v, want 50", got)
+	}
+
+	e.At(90, func(Time) {})
+	e.RunBefore(90) // exclusive end: the event at 90 must not run
+	if got := e.LastEventAt(); got != 80 {
+		t.Errorf("after empty RunBefore(90): LastEventAt = %v, want 80", got)
+	}
+	e.Run()
+	if got := e.LastEventAt(); got != 90 {
+		t.Errorf("after Run: LastEventAt = %v, want 90", got)
+	}
+}

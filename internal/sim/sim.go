@@ -192,6 +192,7 @@ type Engine struct {
 	queue     eventQueue
 	processed uint64
 	stopped   bool
+	lastAt    Time
 }
 
 // defaultQueueCap pre-sizes the event queue so steady-state simulations
@@ -313,6 +314,7 @@ func (e *Engine) Run() {
 	e.stopped = false
 	for !e.stopped && e.step() {
 	}
+	e.lastAt = e.now
 }
 
 // RunUntil executes events with timestamps <= deadline, then advances the
@@ -322,6 +324,7 @@ func (e *Engine) RunUntil(deadline Time) {
 	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
 		e.step()
 	}
+	e.lastAt = e.now
 	if !e.stopped && e.now < deadline {
 		e.now = deadline
 	}
@@ -336,10 +339,21 @@ func (e *Engine) RunBefore(end Time) {
 	for !e.stopped && len(e.queue) > 0 && e.queue[0].at < end {
 		e.step()
 	}
+	e.lastAt = e.now
 	if !e.stopped && e.now < end {
 		e.now = end
 	}
 }
+
+// LastEventAt returns the clock value at the end of the most recent
+// Run/RunUntil/RunBefore event loop: the timestamp of the last event
+// that call executed, or the clock at entry when it executed none.
+// Unlike Now it does not move when a run call parks the clock on a
+// deadline with no event there, so a window's efficiency (simulated
+// advance actually used vs granted) derives from LastEventAt minus the
+// window start. Updated once per run call, not per event, so it costs
+// nothing on the hot path.
+func (e *Engine) LastEventAt() Time { return e.lastAt }
 
 // AdvanceTo moves the clock forward to t without executing anything.
 // It panics if that would rewind the clock or skip a pending event —

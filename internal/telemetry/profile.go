@@ -1,0 +1,371 @@
+package telemetry
+
+import "time"
+
+// This file turns the telemetry layer inward: EngineProfiler observes
+// the simulation engine itself — wall-clock time per shard window,
+// barrier waits, granted-vs-used window width, cross-shard exchange
+// volume — instead of the simulated network. It exists to answer one
+// question for every future performance PR: when the multi-core scaling
+// curve disappoints, *which* cost is to blame (laggard shards, barrier
+// frequency, narrow windows, exchange volume, control-plane time)?
+//
+// Design constraints, in order:
+//
+//  1. The deterministic simulation must not notice the profiler. Every
+//     hook runs at window barriers or around whole windows — never per
+//     packet or per event — and the profiler registers nothing with the
+//     metric registry, so Result, sampled CSVs, and attribution stay
+//     byte-identical with profiling on or off.
+//  2. Zero allocations while the simulation runs. All per-shard and
+//     per-pair aggregates are pre-sized at construction; the per-round
+//     feed writes into them in place. Snapshot (barrier/end-of-run
+//     only) is the one allocating call.
+//  3. Single-goroutine writes. The shard coordinator owns every mutating
+//     call; shard workers never touch the profiler (their per-window
+//     numbers ride on shard-owned fields and are folded in after the
+//     barrier). Snapshot may only be called from the same goroutine —
+//     in practice the control plane at quiescent instants, or after the
+//     run returns.
+type EngineProfiler struct {
+	nshards int
+
+	// Whole-run aggregates.
+	rounds     int64
+	wallNs     int64 // wall time inside Run* calls (live part via runStart)
+	critNs     int64 // sum over rounds of the slowest busy window
+	drainNs    int64 // staged-exchange drain time at barriers
+	ctrlNs     int64 // control-plane slices between rounds
+	ctrlEvents uint64
+
+	// Per-shard aggregates, indexed by shard ID.
+	busyNs     []int64 // wall time executing own windows
+	waitNs     []int64 // busy rounds: laggard's wall minus own
+	idleNs     []int64 // rounds fast-forwarded with no work
+	events     []uint64
+	busyRounds []int64
+	ffRounds   []int64
+	laggard    []int64 // rounds this shard was the slowest busy window
+	grantedPs  []int64 // simulated window width granted (busy rounds)
+	usedPs     []int64 // simulated advance up to the last executed event
+	ffPs       []int64 // simulated advance taken analytically
+	peakPend   []int64 // event-queue depth high-water mark at barriers
+
+	// Cross-shard exchange, flattened [src*nshards+dst].
+	exchEvents []int64
+	exchBytes  []int64
+
+	// Partition quality, from the shard group at attach time.
+	cutCross int
+	cutTotal int
+	laMinPs  int64
+	laMaxPs  int64
+
+	// Per-round scratch: wall ns of each busy shard's window, -1 = idle.
+	rdur []int64
+
+	// Live-run marker so mid-run snapshots (the /profile endpoint) see
+	// wall time accrued by the Run* call still in flight.
+	running  bool
+	runStart time.Time
+}
+
+// NewEngineProfiler returns a profiler for a simulation with nshards
+// data-plane shards (1 for a serial engine). All per-shard storage is
+// allocated here; the per-round feed never allocates.
+func NewEngineProfiler(nshards int) *EngineProfiler {
+	if nshards < 1 {
+		nshards = 1
+	}
+	return &EngineProfiler{
+		nshards:    nshards,
+		busyNs:     make([]int64, nshards),
+		waitNs:     make([]int64, nshards),
+		idleNs:     make([]int64, nshards),
+		events:     make([]uint64, nshards),
+		busyRounds: make([]int64, nshards),
+		ffRounds:   make([]int64, nshards),
+		laggard:    make([]int64, nshards),
+		grantedPs:  make([]int64, nshards),
+		usedPs:     make([]int64, nshards),
+		ffPs:       make([]int64, nshards),
+		peakPend:   make([]int64, nshards),
+		exchEvents: make([]int64, nshards*nshards),
+		exchBytes:  make([]int64, nshards*nshards),
+		rdur:       make([]int64, nshards),
+	}
+}
+
+// NumShards returns the shard count the profiler was sized for.
+func (p *EngineProfiler) NumShards() int { return p.nshards }
+
+// SetPartition records the partition's cut quality (directed
+// inter-switch channels crossing a shard boundary, out of the total)
+// and the finite off-diagonal range of the lookahead matrix, both in
+// picoseconds.
+func (p *EngineProfiler) SetPartition(cross, total int, laMinPs, laMaxPs int64) {
+	p.cutCross, p.cutTotal = cross, total
+	p.laMinPs, p.laMaxPs = laMinPs, laMaxPs
+}
+
+// RunStarted marks the beginning of a coordinator Run* call so mid-run
+// snapshots count its elapsed wall time; RunStopped folds it in.
+func (p *EngineProfiler) RunStarted() {
+	p.running = true
+	p.runStart = time.Now()
+}
+
+// RunStopped ends the span opened by RunStarted.
+func (p *EngineProfiler) RunStopped() {
+	if p.running {
+		p.wallNs += time.Since(p.runStart).Nanoseconds()
+		p.running = false
+	}
+}
+
+// AddCtrl accrues one control-plane slice: wall time and events
+// executed by the control engine between rounds.
+func (p *EngineProfiler) AddCtrl(ns int64, events uint64) {
+	p.ctrlNs += ns
+	p.ctrlEvents += events
+}
+
+// AddDrain accrues one barrier's staged-exchange drain time.
+func (p *EngineProfiler) AddDrain(ns int64) { p.drainNs += ns }
+
+// AddSerial accrues one serial-engine run slice: with a single engine
+// there are no rounds or barriers, so the whole slice is busy time and
+// critical path on shard 0 (control and data plane share the engine
+// and are indistinguishable here). Wall time is accrued separately by
+// the surrounding RunStarted/RunStopped span.
+func (p *EngineProfiler) AddSerial(ns int64, events uint64) {
+	p.busyNs[0] += ns
+	p.critNs += ns
+	p.events[0] += events
+}
+
+// BeginRound resets the per-round scratch. One BeginRound /
+// ShardBusy|ShardFastForward* / EndRound cycle per coordinator round.
+func (p *EngineProfiler) BeginRound() {
+	for i := range p.rdur {
+		p.rdur[i] = -1
+	}
+}
+
+// ShardBusy records one executed window: the simulated width granted
+// and used (picoseconds), the wall time the window took, and the
+// events it executed.
+func (p *EngineProfiler) ShardBusy(shard int, grantedPs, usedPs, wallNs int64, events uint64) {
+	p.rdur[shard] = wallNs
+	p.busyNs[shard] += wallNs
+	p.busyRounds[shard]++
+	p.grantedPs[shard] += grantedPs
+	p.usedPs[shard] += usedPs
+	p.events[shard] += events
+}
+
+// ShardFastForward records a round in which the shard had no work below
+// its horizon and jumped its clock analytically.
+func (p *EngineProfiler) ShardFastForward(shard int, advancePs int64) {
+	p.ffRounds[shard]++
+	p.ffPs[shard] += advancePs
+}
+
+// EndRound closes one round: it identifies the laggard (the slowest
+// busy window — the shard that set the barrier), charges every other
+// busy shard the difference as barrier wait, charges fast-forwarded
+// shards the whole round as idle, and extends the critical path.
+func (p *EngineProfiler) EndRound() {
+	p.rounds++
+	max, arg := int64(-1), -1
+	for i, d := range p.rdur {
+		if d > max {
+			max, arg = d, i
+		}
+	}
+	if arg < 0 || max < 0 {
+		return // no busy shard this round (pure fast-forward)
+	}
+	p.laggard[arg]++
+	p.critNs += max
+	for i, d := range p.rdur {
+		if d < 0 {
+			p.idleNs[i] += max
+		} else {
+			p.waitNs[i] += max - d
+		}
+	}
+}
+
+// Exchange accrues staged cross-shard traffic drained at a barrier:
+// events pushed from src onto dst's heap, and the packet payload bytes
+// among them.
+func (p *EngineProfiler) Exchange(src, dst int, events, bytes int64) {
+	p.exchEvents[src*p.nshards+dst] += events
+	p.exchBytes[src*p.nshards+dst] += bytes
+}
+
+// NotePending updates a shard's event-queue depth high-water mark,
+// sampled at barriers (after the exchange drain, so staged arrivals
+// count).
+func (p *EngineProfiler) NotePending(shard, pending int) {
+	if int64(pending) > p.peakPend[shard] {
+		p.peakPend[shard] = int64(pending)
+	}
+}
+
+// ShardWindowProfile is one shard's aggregate in a profile snapshot.
+type ShardWindowProfile struct {
+	Shard             int
+	BusyWallNs        int64 // wall time executing this shard's windows
+	BarrierWaitNs     int64 // busy rounds: waiting for the laggard
+	IdleWallNs        int64 // rounds spent fast-forwarded with no work
+	Events            uint64
+	BusyRounds        int64
+	FastForwardRounds int64
+	LaggardRounds     int64 // rounds this shard set the barrier
+	GrantedPs         int64 // simulated window width granted
+	UsedPs            int64 // simulated advance up to the last event
+	FastForwardPs     int64 // simulated advance taken analytically
+	PeakPending       int64 // event-queue depth high-water mark
+}
+
+// WindowEfficiency returns the fraction of granted simulated window
+// width the shard actually used (0 when it was never granted one).
+func (s *ShardWindowProfile) WindowEfficiency() float64 {
+	if s.GrantedPs <= 0 {
+		return 0
+	}
+	return float64(s.UsedPs) / float64(s.GrantedPs)
+}
+
+// EngineProfile is an immutable snapshot of an EngineProfiler.
+type EngineProfile struct {
+	Shards []ShardWindowProfile
+
+	Rounds         int64
+	WallNs         int64 // wall time inside coordinator Run* calls
+	CriticalPathNs int64 // sum over rounds of the slowest busy window
+	DrainWallNs    int64
+	CtrlWallNs     int64
+	CtrlEvents     uint64
+
+	// ExchangeEvents[src][dst] / ExchangeBytes[src][dst]: staged
+	// cross-shard events drained from src onto dst, and the packet
+	// payload bytes among them.
+	ExchangeEvents [][]int64
+	ExchangeBytes  [][]int64
+
+	CutChannels   int // directed inter-switch channels crossing shards
+	TotalChannels int
+	LookaheadMin  int64 // picoseconds, finite off-diagonal minimum
+	LookaheadMax  int64
+}
+
+// BarrierOverhead returns the fraction of run wall time not covered by
+// the critical path — time lost to coordination rather than to the
+// slowest shard's useful work. Zero for serial runs by construction.
+func (p *EngineProfile) BarrierOverhead() float64 {
+	if p.WallNs <= 0 {
+		return 0
+	}
+	ov := 1 - float64(p.CriticalPathNs)/float64(p.WallNs)
+	if ov < 0 {
+		return 0
+	}
+	return ov
+}
+
+// WindowEfficiency returns the aggregate used/granted window fraction
+// across all shards.
+func (p *EngineProfile) WindowEfficiency() float64 {
+	var granted, used int64
+	for i := range p.Shards {
+		granted += p.Shards[i].GrantedPs
+		used += p.Shards[i].UsedPs
+	}
+	if granted <= 0 {
+		return 0
+	}
+	return float64(used) / float64(granted)
+}
+
+// LaggardShare returns the fraction of laggard-bearing rounds in which
+// the given shard set the barrier.
+func (p *EngineProfile) LaggardShare(shard int) float64 {
+	var total int64
+	for i := range p.Shards {
+		total += p.Shards[i].LaggardRounds
+	}
+	if total <= 0 || shard < 0 || shard >= len(p.Shards) {
+		return 0
+	}
+	return float64(p.Shards[shard].LaggardRounds) / float64(total)
+}
+
+// TotalEvents returns data-plane events executed across all shards.
+func (p *EngineProfile) TotalEvents() uint64 {
+	var n uint64
+	for i := range p.Shards {
+		n += p.Shards[i].Events
+	}
+	return n
+}
+
+// ExchangeTotals returns the total staged cross-shard events and bytes.
+func (p *EngineProfile) ExchangeTotals() (events, bytes int64) {
+	for _, row := range p.ExchangeEvents {
+		for _, v := range row {
+			events += v
+		}
+	}
+	for _, row := range p.ExchangeBytes {
+		for _, v := range row {
+			bytes += v
+		}
+	}
+	return events, bytes
+}
+
+// Snapshot returns a copy of the current aggregates. It allocates and
+// must only be called from the goroutine feeding the profiler — the
+// control plane at a quiescent barrier, or the caller after the run.
+func (p *EngineProfiler) Snapshot() *EngineProfile {
+	out := &EngineProfile{
+		Shards:         make([]ShardWindowProfile, p.nshards),
+		Rounds:         p.rounds,
+		WallNs:         p.wallNs,
+		CriticalPathNs: p.critNs,
+		DrainWallNs:    p.drainNs,
+		CtrlWallNs:     p.ctrlNs,
+		CtrlEvents:     p.ctrlEvents,
+		ExchangeEvents: make([][]int64, p.nshards),
+		ExchangeBytes:  make([][]int64, p.nshards),
+		CutChannels:    p.cutCross,
+		TotalChannels:  p.cutTotal,
+		LookaheadMin:   p.laMinPs,
+		LookaheadMax:   p.laMaxPs,
+	}
+	if p.running {
+		out.WallNs += time.Since(p.runStart).Nanoseconds()
+	}
+	for i := 0; i < p.nshards; i++ {
+		out.Shards[i] = ShardWindowProfile{
+			Shard:             i,
+			BusyWallNs:        p.busyNs[i],
+			BarrierWaitNs:     p.waitNs[i],
+			IdleWallNs:        p.idleNs[i],
+			Events:            p.events[i],
+			BusyRounds:        p.busyRounds[i],
+			FastForwardRounds: p.ffRounds[i],
+			LaggardRounds:     p.laggard[i],
+			GrantedPs:         p.grantedPs[i],
+			UsedPs:            p.usedPs[i],
+			FastForwardPs:     p.ffPs[i],
+			PeakPending:       p.peakPend[i],
+		}
+		out.ExchangeEvents[i] = append([]int64(nil), p.exchEvents[i*p.nshards:(i+1)*p.nshards]...)
+		out.ExchangeBytes[i] = append([]int64(nil), p.exchBytes[i*p.nshards:(i+1)*p.nshards]...)
+	}
+	return out
+}

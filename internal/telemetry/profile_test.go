@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// feedRound drives one synthetic coordinator round: durs[i] is shard
+// i's window wall time in ns, or -1 for a fast-forwarded shard.
+func feedRound(p *EngineProfiler, durs ...int64) {
+	p.BeginRound()
+	for i, d := range durs {
+		if d < 0 {
+			p.ShardFastForward(i, 1000)
+		} else {
+			p.ShardBusy(i, 100, 80, d, 10)
+		}
+	}
+	p.EndRound()
+}
+
+// TestEngineProfilerLaggardAttribution pins the per-round barrier math:
+// the slowest busy window is the laggard and extends the critical path,
+// other busy shards are charged the difference as barrier wait, and
+// fast-forwarded shards are charged the whole round as idle.
+func TestEngineProfilerLaggardAttribution(t *testing.T) {
+	p := NewEngineProfiler(3)
+	feedRound(p, 100, 300, -1) // shard 1 laggard; shard 0 waits 200; shard 2 idles 300
+	feedRound(p, 500, 200, 400)
+
+	s := p.Snapshot()
+	if s.Rounds != 2 {
+		t.Fatalf("Rounds = %d, want 2", s.Rounds)
+	}
+	if s.CriticalPathNs != 300+500 {
+		t.Errorf("CriticalPathNs = %d, want 800", s.CriticalPathNs)
+	}
+	wantLaggard := []int64{1, 1, 0}
+	wantWait := []int64{200 + 0, 0 + 300, 100}
+	wantIdle := []int64{0, 0, 300}
+	wantBusyRounds := []int64{2, 2, 1}
+	for i, sh := range s.Shards {
+		if sh.LaggardRounds != wantLaggard[i] {
+			t.Errorf("shard %d: LaggardRounds = %d, want %d", i, sh.LaggardRounds, wantLaggard[i])
+		}
+		if sh.BarrierWaitNs != wantWait[i] {
+			t.Errorf("shard %d: BarrierWaitNs = %d, want %d", i, sh.BarrierWaitNs, wantWait[i])
+		}
+		if sh.IdleWallNs != wantIdle[i] {
+			t.Errorf("shard %d: IdleWallNs = %d, want %d", i, sh.IdleWallNs, wantIdle[i])
+		}
+		if sh.BusyRounds != wantBusyRounds[i] {
+			t.Errorf("shard %d: BusyRounds = %d, want %d", i, sh.BusyRounds, wantBusyRounds[i])
+		}
+	}
+	if got := s.LaggardShare(0); got != 0.5 {
+		t.Errorf("LaggardShare(0) = %v, want 0.5", got)
+	}
+	if sh := s.Shards[2]; sh.FastForwardRounds != 1 || sh.FastForwardPs != 1000 {
+		t.Errorf("shard 2 fast-forward = (%d rounds, %d ps), want (1, 1000)",
+			sh.FastForwardRounds, sh.FastForwardPs)
+	}
+}
+
+// TestEngineProfilerLaggardTie verifies a wall-time tie resolves to the
+// lowest shard ID, keeping the attribution deterministic for a given
+// set of timings.
+func TestEngineProfilerLaggardTie(t *testing.T) {
+	p := NewEngineProfiler(2)
+	feedRound(p, 100, 100)
+	s := p.Snapshot()
+	if s.Shards[0].LaggardRounds != 1 || s.Shards[1].LaggardRounds != 0 {
+		t.Errorf("tie broke to shard 1: laggard rounds %d/%d, want 1/0",
+			s.Shards[0].LaggardRounds, s.Shards[1].LaggardRounds)
+	}
+	if s.Shards[1].BarrierWaitNs != 0 {
+		t.Errorf("tied shard charged %d ns barrier wait, want 0", s.Shards[1].BarrierWaitNs)
+	}
+}
+
+// TestEngineProfilerPureFastForwardRound verifies a round in which every
+// shard fast-forwards counts as a round but contributes no laggard,
+// critical path, or idle charge (there was no barrier to wait on).
+func TestEngineProfilerPureFastForwardRound(t *testing.T) {
+	p := NewEngineProfiler(2)
+	feedRound(p, -1, -1)
+	s := p.Snapshot()
+	if s.Rounds != 1 {
+		t.Fatalf("Rounds = %d, want 1", s.Rounds)
+	}
+	if s.CriticalPathNs != 0 {
+		t.Errorf("CriticalPathNs = %d, want 0", s.CriticalPathNs)
+	}
+	for i, sh := range s.Shards {
+		if sh.LaggardRounds != 0 || sh.IdleWallNs != 0 || sh.BarrierWaitNs != 0 {
+			t.Errorf("shard %d charged (laggard %d, idle %d, wait %d) on a pure fast-forward round",
+				i, sh.LaggardRounds, sh.IdleWallNs, sh.BarrierWaitNs)
+		}
+	}
+}
+
+// TestEngineProfilerWindowEfficiency pins used/granted both per shard
+// and in aggregate.
+func TestEngineProfilerWindowEfficiency(t *testing.T) {
+	p := NewEngineProfiler(2)
+	p.BeginRound()
+	p.ShardBusy(0, 1000, 250, 5, 1)
+	p.ShardBusy(1, 1000, 750, 5, 1)
+	p.EndRound()
+	s := p.Snapshot()
+	if got := s.Shards[0].WindowEfficiency(); got != 0.25 {
+		t.Errorf("shard 0 WindowEfficiency = %v, want 0.25", got)
+	}
+	if got := s.WindowEfficiency(); got != 0.5 {
+		t.Errorf("aggregate WindowEfficiency = %v, want 0.5", got)
+	}
+	var empty ShardWindowProfile
+	if got := empty.WindowEfficiency(); got != 0 {
+		t.Errorf("zero-granted WindowEfficiency = %v, want 0", got)
+	}
+}
+
+// TestEngineProfilerExchangeMatrix verifies the src×dst accumulation,
+// the row copies in the snapshot, and the totals.
+func TestEngineProfilerExchangeMatrix(t *testing.T) {
+	p := NewEngineProfiler(2)
+	p.Exchange(0, 1, 3, 6000)
+	p.Exchange(0, 1, 1, 2048)
+	p.Exchange(1, 0, 2, 100)
+	s := p.Snapshot()
+	if s.ExchangeEvents[0][1] != 4 || s.ExchangeBytes[0][1] != 8048 {
+		t.Errorf("exchange[0][1] = (%d ev, %d B), want (4, 8048)",
+			s.ExchangeEvents[0][1], s.ExchangeBytes[0][1])
+	}
+	if s.ExchangeEvents[0][0] != 0 || s.ExchangeEvents[1][1] != 0 {
+		t.Error("diagonal exchange entries should stay zero")
+	}
+	ev, by := s.ExchangeTotals()
+	if ev != 6 || by != 8148 {
+		t.Errorf("ExchangeTotals = (%d, %d), want (6, 8148)", ev, by)
+	}
+	// Snapshot rows must be copies, not views of live storage.
+	p.Exchange(0, 1, 100, 100)
+	if s.ExchangeEvents[0][1] != 4 {
+		t.Error("snapshot exchange row aliases live profiler storage")
+	}
+}
+
+// TestEngineProfilerPeakPending verifies the high-water mark only moves
+// up.
+func TestEngineProfilerPeakPending(t *testing.T) {
+	p := NewEngineProfiler(1)
+	p.NotePending(0, 5)
+	p.NotePending(0, 12)
+	p.NotePending(0, 3)
+	if s := p.Snapshot(); s.Shards[0].PeakPending != 12 {
+		t.Errorf("PeakPending = %d, want 12", s.Shards[0].PeakPending)
+	}
+}
+
+// TestEngineProfilerSerial verifies the single-engine accrual path:
+// the whole slice lands on shard 0 as busy time and critical path, and
+// barrier overhead stays ~0 because wall comes from the same span.
+func TestEngineProfilerSerial(t *testing.T) {
+	p := NewEngineProfiler(1)
+	p.RunStarted()
+	p.AddSerial(1000, 42)
+	p.RunStopped()
+	s := p.Snapshot()
+	if s.Shards[0].BusyWallNs != 1000 || s.CriticalPathNs != 1000 {
+		t.Errorf("serial slice: busy %d / crit %d, want 1000/1000",
+			s.Shards[0].BusyWallNs, s.CriticalPathNs)
+	}
+	if s.TotalEvents() != 42 {
+		t.Errorf("TotalEvents = %d, want 42", s.TotalEvents())
+	}
+	if s.WallNs <= 0 {
+		t.Errorf("WallNs = %d, want > 0 from the RunStarted span", s.WallNs)
+	}
+}
+
+// TestEngineProfilerBarrierOverhead pins the derived fraction and its
+// clamp (crit > wall can happen at ns granularity; never report < 0).
+func TestEngineProfilerBarrierOverhead(t *testing.T) {
+	s := &EngineProfile{WallNs: 1000, CriticalPathNs: 600}
+	if got := s.BarrierOverhead(); got != 0.4 {
+		t.Errorf("BarrierOverhead = %v, want 0.4", got)
+	}
+	s = &EngineProfile{WallNs: 500, CriticalPathNs: 600}
+	if got := s.BarrierOverhead(); got != 0 {
+		t.Errorf("clamped BarrierOverhead = %v, want 0", got)
+	}
+	s = &EngineProfile{}
+	if got := s.BarrierOverhead(); got != 0 {
+		t.Errorf("zero-wall BarrierOverhead = %v, want 0", got)
+	}
+}
+
+// TestEngineProfilerLiveSnapshot verifies a snapshot taken mid-run sees
+// the in-flight Run* span's elapsed wall time.
+func TestEngineProfilerLiveSnapshot(t *testing.T) {
+	p := NewEngineProfiler(1)
+	p.RunStarted()
+	time.Sleep(time.Millisecond)
+	if s := p.Snapshot(); s.WallNs <= 0 {
+		t.Errorf("mid-run WallNs = %d, want > 0", s.WallNs)
+	}
+	p.RunStopped()
+	done := p.Snapshot().WallNs
+	if done <= 0 {
+		t.Errorf("post-run WallNs = %d, want > 0", done)
+	}
+	if again := p.Snapshot().WallNs; again != done {
+		t.Errorf("WallNs moved after RunStopped: %d -> %d", done, again)
+	}
+}
+
+// TestEngineProfilerRoundFeedAllocs proves constraint 2: the per-round
+// feed — the only profiler code on the coordinator's hot path — does
+// not allocate.
+func TestEngineProfilerRoundFeedAllocs(t *testing.T) {
+	p := NewEngineProfiler(4)
+	allocs := testing.AllocsPerRun(100, func() {
+		p.BeginRound()
+		p.ShardBusy(0, 100, 90, 10, 5)
+		p.ShardBusy(1, 100, 50, 30, 7)
+		p.ShardFastForward(2, 100)
+		p.ShardBusy(3, 100, 100, 20, 2)
+		p.EndRound()
+		p.Exchange(0, 1, 2, 4096)
+		p.Exchange(3, 2, 1, 2048)
+		p.NotePending(0, 17)
+		p.AddCtrl(5, 1)
+		p.AddDrain(3)
+	})
+	if allocs != 0 {
+		t.Errorf("round feed allocates %v allocs/round, want 0", allocs)
+	}
+}

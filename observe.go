@@ -71,6 +71,7 @@ type observer struct {
 	e         *sim.Engine
 	net       *fabric.Network
 	inj       *fault.Injector
+	prof      *telemetry.EngineProfiler
 	reg       *telemetry.Registry
 	sampler   *telemetry.Sampler
 	heatmap   *telemetry.Heatmap
@@ -80,6 +81,7 @@ type observer struct {
 	ideal     *power.Meter
 	snapBuf   bytes.Buffer
 	promBuf   bytes.Buffer
+	profBuf   bytes.Buffer
 	done      bool
 }
 
@@ -90,12 +92,13 @@ type observer struct {
 // created is closed and removed from the observer's ownership.
 func newObserver(cfg Config, e *sim.Engine, net *fabric.Network,
 	ctrl *core.Controller, fr *routing.FBFLY, inj *fault.Injector,
-	ladder link.RateLadder, horizon sim.Time) (o *observer, err error) {
+	prof *telemetry.EngineProfiler, ladder link.RateLadder,
+	horizon sim.Time) (o *observer, err error) {
 	if cfg.MetricsOut == "" && cfg.TraceOut == "" && cfg.HeatmapOut == "" &&
 		cfg.HistOut == "" && cfg.Inspector == nil {
 		return nil, nil
 	}
-	o = &observer{cfg: cfg, e: e, net: net, inj: inj}
+	o = &observer{cfg: cfg, e: e, net: net, inj: inj, prof: prof}
 	defer func() {
 		if err != nil && o.traceFile != nil {
 			o.traceFile.Close()
@@ -234,7 +237,9 @@ func newObserver(cfg Config, e *sim.Engine, net *fabric.Network,
 // publish renders the scrape body and the per-entity snapshot on the
 // engine thread and hands copies to the inspector. Both documents are
 // pure functions of simulation state, so repeated seeded runs publish
-// byte-identical final documents.
+// byte-identical final documents. The engine profile, when profiling
+// is on, rides along as a third document (wall-clock based, so not
+// deterministic — it feeds /profile, nothing else).
 func (o *observer) publish(now sim.Time) {
 	o.promBuf.Reset()
 	o.reg.WritePrometheus(&o.promBuf)
@@ -244,7 +249,16 @@ func (o *observer) publish(now sim.Time) {
 	copy(prom, o.promBuf.Bytes())
 	snap := make([]byte, o.snapBuf.Len())
 	copy(snap, o.snapBuf.Bytes())
-	o.cfg.Inspector.publish(prom, snap)
+	var prof []byte
+	if o.prof != nil {
+		// Sampler ticks run on the control plane at barriers, when every
+		// shard is quiescent — the one safe instant to snapshot.
+		o.profBuf.Reset()
+		json.NewEncoder(&o.profBuf).Encode(newEngineProfile(o.prof.Snapshot()))
+		prof = make([]byte, o.profBuf.Len())
+		copy(prof, o.profBuf.Bytes())
+	}
+	o.cfg.Inspector.publish(prom, snap, prof)
 }
 
 // snapshot structures for the /snapshot JSON document. Field order is

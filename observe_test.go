@@ -125,7 +125,7 @@ func TestRunWritesChromeTrace(t *testing.T) {
 }
 
 func TestTelemetryOptsApply(t *testing.T) {
-	opts := &TelemetryOpts{MetricsOut: "m.csv", TraceOut: "t.json"}
+	opts := &TelemetryOpts{MetricsOut: "m.csv", TraceOut: "t.json", ProfileOut: "p.json"}
 	cfgs := make([]Config, 3)
 	opts.Apply(cfgs[:2])
 	opts.Apply(cfgs[2:]) // sequence continues across grids
@@ -137,13 +137,16 @@ func TestTelemetryOptsApply(t *testing.T) {
 		if wantTrace := "t.00" + strconv.Itoa(i) + ".json"; cfg.TraceOut != wantTrace {
 			t.Errorf("cfg %d TraceOut = %q, want %q", i, cfg.TraceOut, wantTrace)
 		}
+		if wantProf := "p.00" + strconv.Itoa(i) + ".json"; cfg.ProfileOut != wantProf {
+			t.Errorf("cfg %d ProfileOut = %q, want %q", i, cfg.ProfileOut, wantProf)
+		}
 	}
 	// Disabled opts leave configurations untouched.
 	var off *TelemetryOpts
 	plain := make([]Config, 1)
 	off.Apply(plain)
 	(&TelemetryOpts{}).Apply(plain)
-	if plain[0].MetricsOut != "" || plain[0].TraceOut != "" {
+	if plain[0].MetricsOut != "" || plain[0].TraceOut != "" || plain[0].ProfileOut != "" {
 		t.Errorf("disabled telemetry stamped paths: %+v", plain[0])
 	}
 }

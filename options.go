@@ -186,6 +186,19 @@ func WithInspector(insp *Inspector) Option {
 	return func(cfg *Config) { cfg.Inspector = insp }
 }
 
+// WithProfile enables engine self-profiling: Result.Profile reports
+// per-shard busy/wait/idle wall time, window efficiency, the
+// cross-shard exchange matrix, and the critical-path laggard table.
+func WithProfile() Option {
+	return func(cfg *Config) { cfg.Profile = true }
+}
+
+// WithProfileOut enables engine self-profiling and writes the profile
+// to path (JSON, or CSV when the path ends in ".csv").
+func WithProfileOut(path string) Option {
+	return func(cfg *Config) { cfg.ProfileOut = path }
+}
+
 // WithPowerTrace samples instantaneous power into Result.PowerTrace at
 // the given interval.
 func WithPowerTrace(interval time.Duration) Option {

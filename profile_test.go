@@ -1,0 +1,273 @@
+package epnet
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunProfileSharded checks the Result.Profile surface on a sharded
+// run: opt-in only, one entry per shard, and the aggregates describe a
+// run that actually happened (rounds turned, events were attributed,
+// cross-shard traffic moved, the partition fields are filled in).
+func TestRunProfileSharded(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Shards = 2
+	cfg.Profile = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	if p == nil {
+		t.Fatal("Config.Profile set but Result.Profile is nil")
+	}
+	if len(p.Shards) != 2 {
+		t.Fatalf("profile has %d shards, want 2", len(p.Shards))
+	}
+	if p.Rounds == 0 || p.Wall <= 0 || p.CriticalPath <= 0 {
+		t.Errorf("rounds %d, wall %v, critical path %v: want all > 0", p.Rounds, p.Wall, p.CriticalPath)
+	}
+	if p.TotalEvents() == 0 {
+		t.Error("profile attributed no data-plane events")
+	}
+	if p.BarrierOverhead < 0 || p.BarrierOverhead > 1 ||
+		p.WindowEfficiency < 0 || p.WindowEfficiency > 1 {
+		t.Errorf("barrier overhead %v / window efficiency %v out of [0, 1]",
+			p.BarrierOverhead, p.WindowEfficiency)
+	}
+	if ev, by := p.ExchangeTotals(); ev == 0 || by == 0 {
+		t.Errorf("exchange totals = (%d events, %d bytes), want both > 0", ev, by)
+	}
+	if p.CutChannels == 0 || p.TotalChannels == 0 || p.LookaheadMin <= 0 {
+		t.Errorf("partition fields: cut %d/%d, lookahead min %v",
+			p.CutChannels, p.TotalChannels, p.LookaheadMin)
+	}
+
+	// Off by default.
+	plain, err := Run(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Profile != nil {
+		t.Error("Result.Profile populated without opting in")
+	}
+}
+
+// TestRunProfileSerial checks the degenerate serial profile: no rounds,
+// all busy time on shard 0.
+func TestRunProfileSerial(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Shards = 1
+	cfg.Profile = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	if p == nil {
+		t.Fatal("Result.Profile is nil")
+	}
+	if len(p.Shards) != 1 || p.Rounds != 0 {
+		t.Errorf("serial profile: %d shards, %d rounds, want 1 and 0", len(p.Shards), p.Rounds)
+	}
+	if p.Shards[0].BusyWall <= 0 || p.Shards[0].Events == 0 {
+		t.Errorf("serial shard 0: busy %v, %d events, want both > 0",
+			p.Shards[0].BusyWall, p.Shards[0].Events)
+	}
+}
+
+// TestProfileOutFormats checks the -profile-out exporter: ProfileOut
+// alone enables profiling, a .json path gets indented JSON that decodes
+// back into an EngineProfile, and a .csv path gets the summary + table
+// form.
+func TestProfileOutFormats(t *testing.T) {
+	dir := t.TempDir()
+
+	cfg := fastCfg()
+	cfg.Shards = 2
+	cfg.ProfileOut = filepath.Join(dir, "profile.json")
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil {
+		t.Fatal("ProfileOut alone did not enable profiling")
+	}
+	data, err := os.ReadFile(cfg.ProfileOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded EngineProfile
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("profile JSON does not decode: %v", err)
+	}
+	if len(decoded.Shards) != 2 || decoded.Rounds != res.Profile.Rounds {
+		t.Errorf("decoded profile: %d shards, %d rounds; Result.Profile has %d, %d",
+			len(decoded.Shards), decoded.Rounds, len(res.Profile.Shards), res.Profile.Rounds)
+	}
+
+	cfg.ProfileOut = filepath.Join(dir, "profile.csv")
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	csv, err := os.ReadFile(cfg.ProfileOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(csv)
+	if !strings.HasPrefix(text, "# rounds=") {
+		t.Errorf("profile CSV does not start with the summary comment:\n%s", text)
+	}
+	if !strings.Contains(text, "shard,busy_wall_ns,barrier_wait_ns") {
+		t.Errorf("profile CSV missing the per-shard header:\n%s", text)
+	}
+	// Header + 2 shard rows + 3 summary comments.
+	if lines := strings.Count(strings.TrimRight(text, "\n"), "\n") + 1; lines != 6 {
+		t.Errorf("profile CSV has %d lines, want 6", lines)
+	}
+}
+
+// TestProfileReport checks the human-readable critical-path report the
+// epsim -profile flag prints.
+func TestProfileReport(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Shards = 2
+	cfg.Profile = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Profile.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	report := buf.String()
+	for _, want := range []string{
+		"engine profile: 2 shard(s)",
+		"critical path",
+		"barrier overhead",
+		"partition:",
+		"window efficiency",
+		"cross-shard exchange:",
+		"weff", // per-shard table header
+		"critical path (ranked):",
+		"set the barrier",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestPartition checks the epsim -v startup helper: the serial
+// degenerate form, and a sharded partition whose cut, lookahead range,
+// and matrix are consistent.
+func TestPartition(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Shards = 1
+	info, err := Partition(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Shards != 1 || info.String() != "shards=1 (serial engine)" {
+		t.Errorf("serial partition: %+v, String %q", info, info.String())
+	}
+
+	cfg.Shards = 2
+	info, err = Partition(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Shards != 2 {
+		t.Fatalf("Shards = %d, want 2", info.Shards)
+	}
+	if info.CutChannels == 0 || info.CutChannels > info.TotalChannels {
+		t.Errorf("cut = %d/%d, want a nonzero cut within the total",
+			info.CutChannels, info.TotalChannels)
+	}
+	if info.LookaheadMin <= 0 || info.LookaheadMax < info.LookaheadMin {
+		t.Errorf("lookahead range = %v..%v", info.LookaheadMin, info.LookaheadMax)
+	}
+	if f := info.CutFraction(); f <= 0 || f > 1 {
+		t.Errorf("CutFraction = %v", f)
+	}
+	if len(info.Lookahead) != 2 || len(info.Lookahead[0]) != 2 {
+		t.Fatalf("lookahead matrix shape %dx?, want 2x2", len(info.Lookahead))
+	}
+	for i, row := range info.Lookahead {
+		for j, v := range row {
+			if v <= 0 {
+				t.Errorf("lookahead[%d][%d] = %v, want > 0 on a clique", i, j, v)
+			}
+		}
+	}
+	for _, want := range []string{"shards=2", "cut=", "lookahead="} {
+		if !strings.Contains(info.String(), want) {
+			t.Errorf("String() = %q missing %q", info.String(), want)
+		}
+	}
+}
+
+// TestInspectorProfileEndpoint checks the live /profile surface: 503
+// until a profiled run publishes, then the current profile as JSON.
+func TestInspectorProfileEndpoint(t *testing.T) {
+	insp, addr, err := StartInspector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, _ := get("/profile"); code != http.StatusServiceUnavailable {
+		t.Errorf("/profile before any run = %d, want 503", code)
+	}
+	if code, body := get("/"); code != http.StatusOK || !strings.Contains(body, "/profile") {
+		t.Errorf("index does not list /profile: %d %q", code, body)
+	}
+
+	// A run without profiling publishes metrics but no profile document.
+	cfg := fastCfg()
+	cfg.Inspector = insp
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get("/profile"); code != http.StatusServiceUnavailable {
+		t.Errorf("/profile after an unprofiled run = %d, want 503", code)
+	}
+
+	cfg.Shards = 2
+	cfg.Profile = true
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get("/profile")
+	if code != http.StatusOK {
+		t.Fatalf("/profile after a profiled run = %d, want 200", code)
+	}
+	var doc EngineProfile
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/profile is not valid JSON: %v\n%s", err, body)
+	}
+	if len(doc.Shards) != 2 {
+		t.Errorf("/profile has %d shards, want 2", len(doc.Shards))
+	}
+	if doc.Wall <= 0 {
+		t.Errorf("/profile wall = %v, want > 0", doc.Wall)
+	}
+}

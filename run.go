@@ -16,6 +16,7 @@ import (
 	"epnet/internal/routing"
 	"epnet/internal/sim"
 	"epnet/internal/stats"
+	"epnet/internal/telemetry"
 	"epnet/internal/topo"
 	"epnet/internal/traffic"
 )
@@ -251,6 +252,17 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	}
 	defer net.Close()
 
+	// Optional engine self-profiling, attached before the first window
+	// runs. The profiler observes wall-clock cost at window/barrier
+	// granularity only — nothing on the deterministic simulation path
+	// changes, so every other Result field and every telemetry file is
+	// byte-identical with profiling on or off.
+	var eprof *telemetry.EngineProfiler
+	if cfg.Profile || cfg.ProfileOut != "" {
+		eprof = telemetry.NewEngineProfiler(net.NumShards())
+		net.SetProfiler(eprof)
+	}
+
 	// Latency is recorded only for packets injected after warmup. The
 	// delivery callbacks run on the shard owning the destination host,
 	// so each shard accumulates into its own Latency; the integer-based
@@ -328,7 +340,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	// Optional telemetry: the controller's epoch tick is already
 	// scheduled, so on coincident timestamps the sampler observes
 	// post-retune link state (the engine breaks ties FIFO).
-	obs, err := newObserver(cfg, e, net, ctrl, fbflyRouter, inj, fcfg.Ladder, horizon)
+	obs, err := newObserver(cfg, e, net, ctrl, fbflyRouter, inj, eprof, fcfg.Ladder, horizon)
 	if err != nil {
 		return Result{}, err
 	}
@@ -566,6 +578,14 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	res.BacklogBytes = net.HostBacklogBytes()
 	res.PeakQueueBytes = net.PeakQueueBytes()
 	res.PowerTrace = trace
+	if eprof != nil {
+		res.Profile = newEngineProfile(eprof.Snapshot())
+		if cfg.ProfileOut != "" {
+			if err := writeProfileOut(cfg.ProfileOut, res.Profile); err != nil {
+				return Result{}, err
+			}
+		}
+	}
 	return res, nil
 }
 
