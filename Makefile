@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-compare fmt fmt-check experiments smoke-faults observe-demo profile-demo
+.PHONY: all build test race vet bench bench-json bench-compare fmt fmt-check experiments smoke-faults smoke-scenarios observe-demo profile-demo
 
 all: build test
 
@@ -55,6 +55,17 @@ experiments:
 # injector end to end without the full experiment suite.
 smoke-faults:
 	$(GO) run ./cmd/experiments -only faultgrid -duration 1ms -warmup 200us -fault-mttr 100us
+
+# Scenario engine end to end: lint every embedded scenario
+# (scenariolint), run one multi-phase scenario serially and one chaos
+# campaign sharded, then the scenario DSL tests under the race detector.
+smoke-scenarios:
+	@for s in $$($(GO) run ./cmd/epsim -list-scenarios); do \
+		$(GO) run ./cmd/epsim -scenario $$s -check || exit 1; done
+	$(GO) run ./cmd/epsim -scenario diurnal -warmup 100us
+	$(GO) run ./cmd/epsim -scenario chaos -warmup 100us -shards 4
+	$(GO) test -race ./internal/scenario/
+	$(GO) test -run 'TestScenario|TestSinglePhaseScenarioMatchesFlagRun|TestPhaseInsertionStability|TestPresetLoadsAsScenario' .
 
 # Short run with the full observability stack on: labeled metrics CSV,
 # utilization heatmap + histogram, per-link attribution, and one live

@@ -14,8 +14,11 @@ import (
 // benchEval is the evaluation scale used by the benchmarks: small
 // enough that each figure regenerates in seconds.
 func benchEval() EvalConfig {
-	return EvalConfig{K: 4, N: 2, C: 4, Warmup: 200 * time.Microsecond,
-		Duration: time.Millisecond, Seed: 1}
+	e := DefaultEval()
+	e.K, e.N, e.C = 4, 2, 4
+	e.Warmup = 200 * time.Microsecond
+	e.Duration = time.Millisecond
+	return e
 }
 
 // BenchmarkTable1 regenerates Table 1 (analytic part counts and power

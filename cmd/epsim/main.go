@@ -6,6 +6,13 @@
 //	epsim -workload search -policy halve-double -independent
 //	epsim -k 15 -n 3 -c 15 -workload uniform -duration 5ms
 //	epsim -policy baseline -workload advert
+//	epsim -scenario diurnal
+//	epsim -scenario ops/monday.json -check
+//
+// Flags shared with the other commands live in internal/cli; epsim adds
+// only its output controls (-json, -hist, -attribution, ...) and the
+// -check lint mode, which validates a config or scenario without
+// running it.
 package main
 
 import (
@@ -14,118 +21,84 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 	"time"
 
 	"epnet"
+	"epnet/internal/cli"
 )
 
 func main() {
-	cfg := epnet.DefaultConfig()
+	var loader cli.Loader
+	var outputs cli.Outputs
+	loader.Bind(flag.CommandLine, epnet.DefaultConfig())
+	outputs.BindOutputs(flag.CommandLine, "epsim", false)
 
-	preset := flag.String("preset", "", "start from a named preset ("+strings.Join(epnet.PresetNames(), " | ")+"); other flags override it")
-	topology := flag.String("topology", string(cfg.Topology), "topology: fbfly | fattree")
-	k := flag.Int("k", cfg.K, "FBFLY radix per dimension (or fat-tree leaf/spine count)")
-	n := flag.Int("n", cfg.N, "FBFLY n (dimensions incl. host dimension)")
-	c := flag.Int("c", cfg.C, "concentration: hosts per switch")
-	workload := flag.String("workload", string(cfg.Workload), "workload: uniform | search | advert | permutation | hotspot | tornado | trace")
-	tracePath := flag.String("trace", "", "trace file for -workload trace (see tracegen)")
-	load := flag.Float64("load", 0, "override workload average utilization (0 = workload default)")
-	policy := flag.String("policy", string(cfg.Policy), "policy: baseline | halve-double | min-max | hysteresis | static-min | queue-aware")
-	routing := flag.String("routing", "adaptive", "routing: adaptive | dor")
-	modeAware := flag.Bool("mode-aware", false, "mode-aware reactivation penalties (CDR vs lane retraining)")
-	failLinks := flag.Int("fail-links", 0, "abruptly fail this many inter-switch link pairs mid-run")
-	faults := flag.String("faults", "", `deterministic fault schedule, e.g. "50us fail-link s0p8; 400us repair-link s0p8"`)
-	faultRate := flag.Float64("fault-rate", 0, "seeded-random faults per simulated millisecond")
-	faultMTTR := flag.Duration("fault-mttr", 0, "mean time to repair for -fault-rate faults (default 200us)")
-	target := flag.Float64("target", cfg.TargetUtil, "target channel utilization")
-	independent := flag.Bool("independent", false, "tune unidirectional channels independently")
-	react := flag.Duration("reactivation", cfg.Reactivation, "link reactivation time")
-	epoch := flag.Duration("epoch", 0, "utilization epoch (default 10x reactivation)")
-	warmup := flag.Duration("warmup", cfg.Warmup, "warmup before measurement")
-	duration := flag.Duration("duration", cfg.Duration, "measurement window")
-	seed := flag.Int64("seed", cfg.Seed, "random seed")
-	shards := flag.Int("shards", cfg.Shards, "parallel simulation shards (0 = auto: one per CPU; 1 = serial; results are byte-identical)")
-	dyntopo := flag.Bool("dyntopo", false, "enable the dynamic topology controller")
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
 	hist := flag.Bool("hist", false, "print the packet latency histogram")
 	powerTrace := flag.Duration("power-trace", 0, "sample instantaneous power at this interval (0 = off)")
-	metricsOut := flag.String("metrics-out", "", "write the sampled metric time series to this file (CSV, or JSON Lines with a .jsonl extension)")
-	sampleInterval := flag.Duration("sample-interval", 0, "metrics sampling period (default: one epoch)")
-	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file (open in chrome://tracing or ui.perfetto.dev)")
-	heatmapOut := flag.String("heatmap-out", "", "write the per-link utilization x time heatmap CSV to this file")
-	histOut := flag.String("hist-out", "", "write the link-utilization histogram CSV (Fig 8 view) to this file")
 	attribution := flag.Bool("attribution", false, "print the per-link energy attribution (top consumers)")
 	profile := flag.Bool("profile", false, "self-profile the engine and print the critical-path report (per-shard stalls, window efficiency, barrier overhead)")
-	profileOut := flag.String("profile-out", "", "write the engine self-profile to this file (JSON, or CSV with a .csv extension); implies -profile collection")
+	check := flag.Bool("check", false, "validate the config (and -scenario, if given) and exit without running")
+	listScenarios := flag.Bool("list-scenarios", false, "print the embedded scenario library names and exit")
 	verbose := flag.Bool("v", false, "print the shard partition (cut quality, lookahead range) at startup")
-	listen := flag.String("listen", "", `serve live inspection HTTP on this address (e.g. ":9090" or "127.0.0.1:0"): /metrics, /snapshot, /profile, /debug/pprof/`)
 	flag.Parse()
 
-	// With -preset, only flags the user actually set override the
-	// preset's values; without one, every flag applies (they default to
-	// DefaultConfig, preserving the original behavior).
-	explicit := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	if *preset != "" {
-		p, err := epnet.Preset(*preset)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "epsim:", err)
-			os.Exit(1)
+	if *listScenarios {
+		for _, name := range epnet.ScenarioNames() {
+			fmt.Println(name)
 		}
-		cfg = p
+		return
 	}
-	apply := func(name string, set func()) {
-		if *preset == "" || explicit[name] {
-			set()
-		}
-	}
-	apply("topology", func() { cfg.Topology = epnet.TopologyKind(*topology) })
-	apply("k", func() { cfg.K = *k })
-	apply("n", func() { cfg.N = *n })
-	apply("c", func() { cfg.C = *c })
-	apply("workload", func() { cfg.Workload = epnet.WorkloadKind(*workload) })
-	apply("trace", func() { cfg.TracePath = *tracePath })
-	apply("load", func() { cfg.Load = *load })
-	apply("policy", func() { cfg.Policy = epnet.PolicyKind(*policy) })
-	apply("routing", func() { cfg.Routing = epnet.RoutingKind(*routing) })
-	apply("mode-aware", func() { cfg.ModeAwareReactivation = *modeAware })
-	apply("fail-links", func() { cfg.FailLinks = *failLinks })
-	apply("faults", func() { cfg.Faults = *faults })
-	apply("fault-rate", func() { cfg.FaultRate = *faultRate })
-	apply("fault-mttr", func() { cfg.FaultMTTR = *faultMTTR })
-	apply("target", func() { cfg.TargetUtil = *target })
-	apply("independent", func() { cfg.Independent = *independent })
-	apply("reactivation", func() { cfg.Reactivation = *react })
-	apply("epoch", func() { cfg.Epoch = *epoch })
-	apply("warmup", func() { cfg.Warmup = *warmup })
-	apply("duration", func() { cfg.Duration = *duration })
-	apply("seed", func() { cfg.Seed = *seed })
-	apply("shards", func() { cfg.Shards = *shards })
-	apply("dyntopo", func() { cfg.DynTopo = *dyntopo })
-	apply("power-trace", func() { cfg.PowerSampleEvery = *powerTrace })
-	apply("metrics-out", func() { cfg.MetricsOut = *metricsOut })
-	apply("sample-interval", func() { cfg.SampleInterval = *sampleInterval })
-	apply("trace-out", func() { cfg.TraceOut = *traceOut })
-	apply("heatmap-out", func() { cfg.HeatmapOut = *heatmapOut })
-	apply("hist-out", func() { cfg.HistOut = *histOut })
-	apply("attribution", func() { cfg.Attribution = *attribution })
-	apply("profile", func() { cfg.Profile = *profile })
-	apply("profile-out", func() { cfg.ProfileOut = *profileOut })
 
-	if *listen != "" {
-		insp, addr, err := epnet.StartInspector(*listen)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "epsim:", err)
-			os.Exit(1)
+	cfg, err := loader.Resolve()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "epsim:", err)
+		os.Exit(1)
+	}
+	// epsim-only config flags: apply only when explicitly set, so a
+	// scenario's config block keeps its values otherwise. Their defaults
+	// match the zero Config, so plain invocations are unchanged.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "power-trace":
+			cfg.PowerSampleEvery = *powerTrace
+		case "attribution":
+			cfg.Attribution = *attribution
+		case "profile":
+			cfg.Profile = *profile
 		}
-		cfg.Inspector = insp
-		fmt.Fprintf(os.Stderr, "epsim: inspector listening on http://%s\n", addr)
+	})
+	if err := outputs.Stamp(&cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "epsim:", err)
+		os.Exit(1)
 	}
 
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "epsim:", err)
 		os.Exit(1)
+	}
+	if *check {
+		fmt.Printf("config ok : %s k=%d n=%d c=%d workload=%s policy=%s duration=%v\n",
+			cfg.Topology, cfg.K, cfg.N, cfg.C, cfg.Workload, cfg.Policy, cfg.Duration)
+		if s := cfg.Scenario; s != nil {
+			fmt.Printf("scenario  : %q — %d phases, total %v\n", s.Name, len(s.Phases), s.TotalDuration())
+			for _, ph := range s.Phases {
+				traffic := "(none)"
+				if len(ph.Traffic) > 0 {
+					names := make([]string, len(ph.Traffic))
+					for i, tr := range ph.Traffic {
+						names[i] = tr.Workload
+					}
+					traffic = names[0]
+					for _, nm := range names[1:] {
+						traffic += "+" + nm
+					}
+				}
+				fmt.Printf("  %-16s %-10v traffic=%s policy-switch=%v chaos=%v\n",
+					ph.Name, ph.Duration, traffic, ph.Policy != nil, ph.Chaos != nil)
+			}
+		}
+		return
 	}
 	if *verbose {
 		part, err := epnet.Partition(cfg)
@@ -203,6 +176,15 @@ func main() {
 	}
 	fmt.Printf("asymmetry : %.2f  estimated power: %.0f W (%.1f J over the window)\n",
 		res.Asymmetry, res.EstimatedWatts, res.EnergyJoules)
+	if len(res.PhaseScores) > 0 {
+		fmt.Println("scorecard (per phase):")
+		for _, ps := range res.PhaseScores {
+			fmt.Printf("  %-16s %9v..%-9v delivered=%-9d frac=%6.2f%% mean=%-10v p99=%-10v util=%5.1f%% reconfigs=%-4d faults=%d\n",
+				ps.Phase, ps.Start, ps.End, ps.DeliveredPackets,
+				ps.DeliveredFraction*100, ps.MeanLatency, ps.P99Latency,
+				ps.AvgUtil*100, ps.Reconfigurations, ps.FaultEvents)
+		}
+	}
 	if *attribution && len(res.Attribution) > 0 {
 		top := make([]epnet.LinkAttribution, len(res.Attribution))
 		copy(top, res.Attribution)

@@ -27,67 +27,45 @@ import (
 	"time"
 
 	"epnet"
+	"epnet/internal/cli"
 )
 
 var errors int
 
 func main() {
+	var loader cli.Loader
+	var outputs cli.Outputs
+	loader.Bind(flag.CommandLine, epnet.DefaultEval().Config)
+	outputs.BindOutputs(flag.CommandLine, "experiments", true)
+
 	only := flag.String("only", "", "run a single experiment (table1, fig1, fig5, fig6, fig7, fig8, fig9a, fig9b, policies, dyntopo, routing, reactivation, oversub, topocompare, serdes, resilience, faultgrid)")
 	full := flag.Bool("full", false, "use the paper's 15-ary 3-flat scale (slow)")
-	duration := flag.Duration("duration", 0, "override measurement window")
-	warmup := flag.Duration("warmup", 0, "override warmup")
-	seed := flag.Int64("seed", 1, "random seed")
-	faults := flag.String("faults", "", "deterministic fault schedule applied to every simulation")
-	faultRate := flag.Float64("fault-rate", 0, "seeded-random faults per simulated ms applied to every simulation")
-	faultMTTR := flag.Duration("fault-mttr", 0, "mean time to repair for random faults (default 200us)")
 	par := flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations per experiment (1 = serial; output is identical either way)")
-	shards := flag.Int("shards", 0, "parallel shards within each simulation (0 = auto: one per CPU; 1 = serial; output is identical either way)")
-	metricsOut := flag.String("metrics-out", "", "per-simulation metric time series base path; each run gets a numeric suffix (telemetry.csv -> telemetry.000.csv)")
-	traceOut := flag.String("trace-out", "", "per-simulation Chrome trace base path, suffixed like -metrics-out")
-	heatmapOut := flag.String("heatmap-out", "", "per-simulation utilization heatmap CSV base path, suffixed like -metrics-out")
-	histOut := flag.String("hist-out", "", "per-simulation utilization histogram CSV base path, suffixed like -metrics-out")
-	profileOut := flag.String("profile-out", "", "per-simulation engine self-profile base path (JSON, or CSV with a .csv extension), suffixed like -metrics-out")
-	sampleInterval := flag.Duration("sample-interval", 0, "metrics sampling period (default: one epoch)")
-	listen := flag.String("listen", "", `serve live inspection HTTP on this address (e.g. ":9090"); endpoints follow the most recently sampled simulation`)
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the harness to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	runtimeMetrics := flag.String("runtime-metrics", "", "dump the Go runtime/metrics snapshot at exit to this file")
 	flag.Parse()
 
+	// -full picks the evaluation base; the shared loader then overlays
+	// -preset/-scenario and any explicitly set flags on top of it, so
+	// e.g. `experiments -full -duration 10ms` still scales the window.
 	eval := epnet.DefaultEval()
 	if *full {
 		eval = epnet.PaperEval()
 	}
-	if *duration > 0 {
-		eval.Duration = *duration
+	cfg, err := loader.ResolveFrom(eval.Config)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
-	if *warmup > 0 {
-		eval.Warmup = *warmup
-	}
-	eval.Seed = *seed
-	eval.Faults = *faults
-	eval.FaultRate = *faultRate
-	eval.FaultMTTR = *faultMTTR
+	eval.Config = cfg
 	eval.Parallel = *par
-	eval.Shards = *shards
-	if *metricsOut != "" || *traceOut != "" || *heatmapOut != "" || *histOut != "" ||
-		*profileOut != "" || *listen != "" {
-		eval.Telemetry = &epnet.TelemetryOpts{
-			MetricsOut:     *metricsOut,
-			TraceOut:       *traceOut,
-			HeatmapOut:     *heatmapOut,
-			HistOut:        *histOut,
-			ProfileOut:     *profileOut,
-			SampleInterval: *sampleInterval,
-		}
-		if *listen != "" {
-			insp, addr, err := epnet.StartInspector(*listen)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
-			}
-			eval.Telemetry.Inspector = insp
-			fmt.Fprintf(os.Stderr, "experiments: inspector listening on http://%s\n", addr)
+	if outputs.MetricsOut != "" || outputs.TraceOut != "" || outputs.HeatmapOut != "" ||
+		outputs.HistOut != "" || outputs.ProfileOut != "" || outputs.Listen != "" {
+		eval.Telemetry, err = outputs.Telemetry()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
 		}
 	}
 

@@ -9,12 +9,18 @@
 //	radix        FBFLY k (with c = k, n fixed)
 //	fault-rate   seeded-random fault events per simulated millisecond
 //
+// The simulation flags are the shared internal/cli surface — including
+// -preset and -scenario, so a sweep can hold a whole scenario fixed
+// while varying one axis. Note -k sets only the radix; pass -c too (or
+// use the radix axis) for balanced c = k shapes.
+//
 // Examples:
 //
 //	sweep -x target -values 0.25,0.5,0.75 -workload search
 //	sweep -x reactivation -values 100ns,1us,10us -workload uniform -o fig9b.csv
 //	sweep -x load -values 0.02,0.05,0.1,0.2 -workload uniform -independent
 //	sweep -x fault-rate -values 0,0.2,0.5,1 -workload uniform -policy baseline
+//	sweep -x target -values 0.25,0.5,0.75 -scenario diurnal
 package main
 
 import (
@@ -28,32 +34,22 @@ import (
 	"time"
 
 	"epnet"
+	"epnet/internal/cli"
 )
 
 func main() {
+	var loader cli.Loader
+	var outputs cli.Outputs
+	base := epnet.DefaultConfig()
+	base.Warmup = time.Millisecond
+	base.Duration = 4 * time.Millisecond
+	loader.Bind(flag.CommandLine, base)
+	outputs.BindOutputs(flag.CommandLine, "sweep", true)
+
 	axis := flag.String("x", "target", "sweep axis: target | reactivation | load | radix | fault-rate")
 	values := flag.String("values", "", "comma-separated axis values (durations for reactivation)")
-	workload := flag.String("workload", "search", "workload")
-	policy := flag.String("policy", "halve-double", "link control policy")
-	independent := flag.Bool("independent", false, "independent channel control")
-	k := flag.Int("k", 8, "FBFLY radix")
-	n := flag.Int("n", 2, "FBFLY n")
-	duration := flag.Duration("duration", 4*time.Millisecond, "measurement window")
-	warmup := flag.Duration("warmup", time.Millisecond, "warmup")
-	seed := flag.Int64("seed", 1, "seed")
-	shards := flag.Int("shards", 0, "parallel shards within each simulation (0 = auto: one per CPU; 1 = serial; results are byte-identical)")
-	faults := flag.String("faults", "", "deterministic fault schedule applied to every run")
-	faultRate := flag.Float64("fault-rate", 0, "seeded-random faults per simulated ms applied to every run")
-	faultMTTR := flag.Duration("fault-mttr", 0, "mean time to repair for random faults (default 200us)")
 	out := flag.String("o", "", "output CSV file (default stdout)")
 	par := flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations (1 = serial; output is identical either way)")
-	metricsOut := flag.String("metrics-out", "", "per-run metric time series base path; each row gets a numeric suffix (telemetry.csv -> telemetry.000.csv)")
-	traceOut := flag.String("trace-out", "", "per-run Chrome trace base path, suffixed like -metrics-out")
-	heatmapOut := flag.String("heatmap-out", "", "per-run utilization heatmap CSV base path, suffixed like -metrics-out")
-	histOut := flag.String("hist-out", "", "per-run utilization histogram CSV base path, suffixed like -metrics-out")
-	profileOut := flag.String("profile-out", "", "per-run engine self-profile base path (JSON, or CSV with a .csv extension), suffixed like -metrics-out")
-	sampleInterval := flag.Duration("sample-interval", 0, "metrics sampling period (default: one epoch)")
-	listen := flag.String("listen", "", `serve live inspection HTTP on this address (e.g. ":9090"); endpoints follow the most recently sampled run`)
 	flag.Parse()
 
 	if *values == "" {
@@ -86,17 +82,10 @@ func main() {
 	var cfgs []epnet.Config
 	for _, raw := range strings.Split(*values, ",") {
 		raw = strings.TrimSpace(raw)
-		cfg := epnet.NewConfig(epnet.TopoFBFLY,
-			epnet.WithRadix(*k),
-			epnet.WithDimensions(*n),
-			epnet.WithWorkload(epnet.WorkloadKind(*workload)),
-			epnet.WithPolicy(epnet.PolicyKind(*policy)),
-			epnet.WithWindow(*warmup, *duration),
-			epnet.WithSeed(*seed),
-			epnet.WithShards(*shards),
-			epnet.WithFaultSchedule(*faults),
-			epnet.WithFaultRate(*faultRate, *faultMTTR))
-		cfg.Independent = *independent
+		cfg, err := loader.Resolve()
+		if err != nil {
+			fail(err)
+		}
 
 		switch *axis {
 		case "target":
@@ -142,21 +131,9 @@ func main() {
 
 	// Telemetry paths are assigned in row order before the fan-out, so
 	// -parallel runs write identical files and the CSV stays untouched.
-	telem := &epnet.TelemetryOpts{
-		MetricsOut:     *metricsOut,
-		TraceOut:       *traceOut,
-		HeatmapOut:     *heatmapOut,
-		HistOut:        *histOut,
-		ProfileOut:     *profileOut,
-		SampleInterval: *sampleInterval,
-	}
-	if *listen != "" {
-		insp, addr, err := epnet.StartInspector(*listen)
-		if err != nil {
-			fail(err)
-		}
-		telem.Inspector = insp
-		fmt.Fprintf(os.Stderr, "sweep: inspector listening on http://%s\n", addr)
+	telem, err := outputs.Telemetry()
+	if err != nil {
+		fail(err)
 	}
 	telem.Apply(cfgs)
 

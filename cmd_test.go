@@ -83,6 +83,28 @@ func TestCommandsSmoke(t *testing.T) {
 		}
 	})
 
+	t.Run("epsim-scenario", func(t *testing.T) {
+		es := buildTool(t, dir, "epsim")
+		// -check lints without running: config line plus one row per phase.
+		out := runTool(t, es, "-scenario", "diurnal", "-check")
+		if !strings.Contains(out, "config ok") {
+			t.Fatalf("epsim -scenario diurnal -check: %s", out)
+		}
+		for _, phase := range []string{"night", "daytime", "evening"} {
+			if !strings.Contains(out, phase) {
+				t.Errorf("-check listing missing phase %q:\n%s", phase, out)
+			}
+		}
+		// A real multi-phase run prints the per-phase scorecard.
+		out = runTool(t, es, "-scenario", "mixed-tenant", "-warmup", "50us")
+		if !strings.Contains(out, "scorecard (per phase):") {
+			t.Errorf("epsim scenario run missing scorecard:\n%s", out)
+		}
+		if !strings.Contains(out, "delivered=") {
+			t.Errorf("epsim scenario run missing traffic line:\n%s", out)
+		}
+	})
+
 	t.Run("epsim-json", func(t *testing.T) {
 		es := buildTool(t, dir, "epsim")
 		out := runTool(t, es, "-json", "-duration", "300us", "-warmup", "100us")

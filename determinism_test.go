@@ -11,11 +11,13 @@ import (
 
 // matrixCase is one cell of the sharding determinism matrix: a topology
 // under active link retuning, optionally riding out seeded-random
-// faults.
+// faults, or a whole declarative scenario (multi-phase traffic, policy
+// switches, chaos campaigns) resolved through LoadScenario.
 type matrixCase struct {
-	name   string
-	faults bool
-	mutate func(*Config)
+	name     string
+	faults   bool
+	scenario string
+	mutate   func(*Config)
 }
 
 // runMatrixCell executes one configuration at the given shard count,
@@ -40,10 +42,26 @@ func runMatrixCell(t *testing.T, mc matrixCase, shards int, dir string, profile 
 		cfg.Profile = true
 		cfg.ProfileOut = filepath.Join(dir, "profile.json")
 	}
-	if mc.faults {
+	if mc.faults && mc.scenario == "" {
 		cfg.FaultRate = 20 // expected events per simulated ms
 	}
 	mc.mutate(&cfg)
+	if mc.scenario != "" {
+		loaded, err := LoadScenario(mc.scenario, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", mc.name, err)
+		}
+		// Cap phase durations so the matrix stays fast; the determinism
+		// comparison only needs both shard counts to run the same plan.
+		const maxPhase = Duration(150 * time.Microsecond)
+		for i := range loaded.Scenario.Phases {
+			if loaded.Scenario.Phases[i].Duration > maxPhase {
+				loaded.Scenario.Phases[i].Duration = maxPhase
+			}
+		}
+		cfg = loaded
+		cfg.Shards = shards
+	}
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatalf("%s shards=%d: %v", mc.name, shards, err)
@@ -96,44 +114,60 @@ func TestShardDeterminismMatrix(t *testing.T) {
 			c.K = 4
 		}},
 	}
+	var cells []matrixCase
 	for _, base := range topos {
 		for _, faults := range []bool{false, true} {
 			mc := base
 			mc.faults = faults
-			name := mc.name + "/clean"
+			mc.name += "/clean"
 			if faults {
-				name = mc.name + "/faults"
+				mc.name = base.name + "/faults"
 			}
-			t.Run(name, func(t *testing.T) {
-				want, wantSeries := runMatrixCell(t, mc, 1, t.TempDir(), false)
-				if want.DeliveredPackets == 0 {
-					t.Fatal("serial run delivered nothing")
-				}
-				if faults && want.Faults.Total() == 0 {
-					t.Fatal("fault case injected no faults")
-				}
-				for _, shards := range []int{2, 4, 8} {
-					got, gotSeries := runMatrixCell(t, mc, shards, t.TempDir(), true)
-					// The recorded Config legitimately differs in the
-					// shard count, the per-run temp output paths, and
-					// the profiling switches; Result.Profile itself is
-					// wall-clock measurement, not simulation output.
-					// Normalize all of it before the deep compare.
-					got.Config.Shards = want.Config.Shards
-					got.Config.MetricsOut = want.Config.MetricsOut
-					got.Config.Profile = want.Config.Profile
-					got.Config.ProfileOut = want.Config.ProfileOut
-					got.Profile = nil
-					if !reflect.DeepEqual(want, got) {
-						t.Errorf("shards=%d: Result diverges from serial\nserial: %+v\nshards: %+v",
-							shards, want, got)
-					}
-					if string(wantSeries) != string(gotSeries) {
-						t.Errorf("shards=%d: metrics series diverges from serial (%d vs %d bytes)",
-							shards, len(wantSeries), len(gotSeries))
-					}
-				}
-			})
+			cells = append(cells, mc)
 		}
+	}
+	// Declarative scenarios run through the same matrix: multi-phase
+	// traffic with load shapes (diurnal) and a chaos campaign with
+	// correlated failure groups (chaos) must both shard byte-identically.
+	cells = append(cells,
+		matrixCase{name: "scenario/diurnal", scenario: "diurnal", mutate: func(c *Config) {}},
+		matrixCase{name: "scenario/chaos", scenario: "chaos", faults: true, mutate: func(c *Config) {}},
+	)
+	for _, mc := range cells {
+		mc := mc
+		t.Run(mc.name, func(t *testing.T) {
+			want, wantSeries := runMatrixCell(t, mc, 1, t.TempDir(), false)
+			if want.DeliveredPackets == 0 {
+				t.Fatal("serial run delivered nothing")
+			}
+			if mc.faults && want.Faults.Total() == 0 {
+				t.Fatal("fault case injected no faults")
+			}
+			shardCounts := []int{2, 4, 8}
+			if mc.scenario != "" {
+				shardCounts = []int{2, 4}
+			}
+			for _, shards := range shardCounts {
+				got, gotSeries := runMatrixCell(t, mc, shards, t.TempDir(), true)
+				// The recorded Config legitimately differs in the
+				// shard count, the per-run temp output paths, and
+				// the profiling switches; Result.Profile itself is
+				// wall-clock measurement, not simulation output.
+				// Normalize all of it before the deep compare.
+				got.Config.Shards = want.Config.Shards
+				got.Config.MetricsOut = want.Config.MetricsOut
+				got.Config.Profile = want.Config.Profile
+				got.Config.ProfileOut = want.Config.ProfileOut
+				got.Profile = nil
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("shards=%d: Result diverges from serial\nserial: %+v\nshards: %+v",
+						shards, want, got)
+				}
+				if string(wantSeries) != string(gotSeries) {
+					t.Errorf("shards=%d: metrics series diverges from serial (%d vs %d bytes)",
+						shards, len(wantSeries), len(gotSeries))
+				}
+			}
+		})
 	}
 }

@@ -94,6 +94,13 @@ const (
 	// WorkloadTornado sends each host's traffic halfway around the
 	// cluster — adversarial for ring-degraded (dynamic) topologies.
 	WorkloadTornado WorkloadKind = "tornado"
+	// WorkloadIncast fires synchronized fan-in bursts at rotating victim
+	// hosts — the partition/aggregate pattern that punishes links detuned
+	// during the preceding lull.
+	WorkloadIncast WorkloadKind = "incast"
+	// WorkloadMigration runs concurrent bulk point-to-point transfers
+	// (a VM migration storm): few flows, each holding one path hot.
+	WorkloadMigration WorkloadKind = "migration"
 	// WorkloadTrace replays a recorded trace file (see Config.TracePath
 	// and cmd/tracegen).
 	WorkloadTrace WorkloadKind = "trace"
@@ -280,6 +287,16 @@ type Config struct {
 	// Seed: identical runs see identical fault histories.
 	FaultRate float64
 	FaultMTTR time.Duration
+
+	// Scenario, when non-nil, drives the run as a sequence of named
+	// phases — traffic mixes with load shapes, policy switches, and
+	// chaos campaigns at phase boundaries — instead of the single
+	// homogeneous workload the fields above describe. Load one with
+	// LoadScenario; Validate checks it and derives Duration from the
+	// phase durations. The first phase's first traffic stream and policy
+	// are mirrored into Workload/Load/Policy/TargetUtil so reports and
+	// single-phase scenarios read like ordinary runs.
+	Scenario *Scenario
 }
 
 // DefaultConfig returns a fast-running configuration faithful to the
@@ -339,9 +356,14 @@ func (c *Config) Validate() error {
 	if c.Topology == TopoFBFLY && c.N < 2 {
 		return fieldErr("N", "must be >= 2, got %d", c.N)
 	}
+	if c.Scenario != nil {
+		if err := c.validateScenario(); err != nil {
+			return err
+		}
+	}
 	switch c.Workload {
 	case WorkloadUniform, WorkloadSearch, WorkloadAdvert, WorkloadPermutation,
-		WorkloadHotspot, WorkloadTornado:
+		WorkloadHotspot, WorkloadTornado, WorkloadIncast, WorkloadMigration:
 	case WorkloadTrace:
 		if c.TracePath == "" {
 			return fieldErr("TracePath", "trace workload needs a trace file")
@@ -368,6 +390,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Routing == RoutingDOR && c.Topology != TopoFBFLY {
 		return fieldErr("Routing", "dimension-order routing requires the flattened butterfly, not %q", c.Topology)
+	}
+	if c.Scenario != nil && c.Routing == RoutingDOR && scenarioHasChaos(c.Scenario) {
+		return fieldErr("Scenario", "chaos campaigns need adaptive routing (dead ports must be maskable)")
 	}
 	if c.FailLinks < 0 {
 		return fieldErr("FailLinks", "must be >= 0, got %d", c.FailLinks)
@@ -578,6 +603,12 @@ type Result struct {
 	// Config.PowerSampleEvery (empty when sampling is off).
 	PowerTrace []PowerSample
 
+	// PhaseScores is the per-phase resilience/energy scorecard of a
+	// multi-phase scenario run, in phase order. Empty for ordinary runs
+	// and single-phase scenarios — those add no snapshot events, so
+	// their results stay byte-identical with the equivalent flag run.
+	PhaseScores []PhaseScore
+
 	// Attribution is the per-channel energy/utilization breakdown over
 	// the measurement window, in wiring order (populated only when
 	// Config.Attribution is set). The EnergyJoules of all entries sum
@@ -634,6 +665,38 @@ type FaultStats struct {
 func (s FaultStats) Total() int64 {
 	return s.LinkFailures + s.LinkRepairs + s.SwitchFailures +
 		s.SwitchRepairs + s.LaneDegradations + s.LaneRestores
+}
+
+// PhaseScore is one row of a scenario run's scorecard: delivery,
+// latency, energy, and fault exposure over one phase's slice of the
+// measurement window. Phases that overlap warmup are scored only for
+// their measured part; a phase entirely inside warmup scores zeros.
+type PhaseScore struct {
+	// Phase is the phase name; Start and End bound its measured slice,
+	// as offsets from the start of the run.
+	Phase      string
+	Start, End time.Duration
+
+	// Delivery accounting within the phase.
+	InjectedPackets   int64
+	DeliveredPackets  int64
+	DroppedPackets    int64
+	DeliveredBytes    int64
+	DeliveredFraction float64
+
+	// Latency of packets delivered within the phase.
+	MeanLatency time.Duration
+	P99Latency  time.Duration
+
+	// AvgUtil is the phase's delivered throughput as a fraction of
+	// aggregate host line-rate capacity — the load an ideally
+	// proportional network's power would track.
+	AvgUtil float64
+
+	// Reconfigurations counts rate changes; FaultEvents counts injected
+	// fault events (repairs included) within the phase.
+	Reconfigurations int64
+	FaultEvents      int64
 }
 
 // PowerSample is one instant of the power-vs-load time series.

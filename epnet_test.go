@@ -330,8 +330,11 @@ func TestAnalyticsWrappers(t *testing.T) {
 // testEval is a very small experiment scale so experiment-shape tests
 // run quickly.
 func testEval() EvalConfig {
-	return EvalConfig{K: 4, N: 2, C: 4, Warmup: 200 * time.Microsecond,
-		Duration: time.Millisecond, Seed: 1}
+	e := DefaultEval()
+	e.K, e.N, e.C = 4, 2, 4
+	e.Warmup = 200 * time.Microsecond
+	e.Duration = time.Millisecond
+	return e
 }
 
 func TestFigure7Shape(t *testing.T) {

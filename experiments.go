@@ -14,25 +14,14 @@ import (
 // is scale-invariant given the same per-link load pattern — see
 // DESIGN.md).
 type EvalConfig struct {
-	K, N, C  int
-	Warmup   time.Duration
-	Duration time.Duration
-	Seed     int64
-
-	// Faults, FaultRate and FaultMTTR, when set, apply the corresponding
-	// Config fault injection to every simulation of the evaluation —
-	// useful to reproduce the paper figures on a degraded fabric. The
-	// resilience experiments add their own faults on top.
-	Faults    string
-	FaultRate float64
-	FaultMTTR time.Duration
-
-	// Shards partitions every simulation of the evaluation across this
-	// many windowed workers (see Config.Shards). Results stay
-	// byte-identical to the serial engine, so figures and tables are
-	// unchanged; only wall-clock time moves. 0 = auto (one per CPU,
-	// capped by topology size), 1 = serial.
-	Shards int
+	// Config is the base simulation configuration every experiment
+	// derives from — there is one source of truth for run parameters,
+	// and the harness fields (K/N/C, Warmup, Duration, Seed, Shards,
+	// Faults, FaultRate, FaultMTTR, ...) are its promoted fields.
+	// Each experiment copies it and overrides the axes it studies
+	// (workload, policy, reactivation, ...). Start from DefaultEval or
+	// PaperEval, not the zero value.
+	Config
 
 	// Parallel is the number of simulations run concurrently within one
 	// experiment (each on its own engine): < 1 means one per CPU, 1
@@ -107,24 +96,23 @@ func (t *TelemetryOpts) Apply(cfgs []Config) {
 // DefaultEval returns the fast evaluation scale: an 8-ary 2-flat
 // (64 hosts) measured for 4 ms after 1 ms of warmup.
 func DefaultEval() EvalConfig {
-	return EvalConfig{K: 8, N: 2, C: 8, Warmup: time.Millisecond, Duration: 4 * time.Millisecond, Seed: 1}
+	c := DefaultConfig()
+	c.Warmup = time.Millisecond
+	c.Duration = 4 * time.Millisecond
+	return EvalConfig{Config: c}
 }
 
 // PaperEval returns the paper's full scale: a 15-ary 3-flat
 // (3,375 hosts). Expect minutes of wall time per experiment.
 func PaperEval() EvalConfig {
-	return EvalConfig{K: 15, N: 3, C: 15, Warmup: time.Millisecond, Duration: 4 * time.Millisecond, Seed: 1}
+	e := DefaultEval()
+	e.K, e.N, e.C = 15, 3, 15
+	return e
 }
 
-func (e EvalConfig) base() Config {
-	return NewConfig(TopoFBFLY,
-		WithShape(e.K, e.N, e.C),
-		WithWindow(e.Warmup, e.Duration),
-		WithSeed(e.Seed),
-		WithShards(e.Shards),
-		WithFaultSchedule(e.Faults),
-		WithFaultRate(e.FaultRate, e.FaultMTTR))
-}
+// base is the Config an experiment starts from: the embedded Config
+// itself, copied by value.
+func (e EvalConfig) base() Config { return e.Config }
 
 // grid runs a set of independent configurations with the evaluation's
 // configured parallelism, results in input order.

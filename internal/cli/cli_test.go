@@ -1,0 +1,126 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"epnet"
+)
+
+// resolve binds a fresh Loader against base, parses args, and resolves.
+func resolve(t *testing.T, base epnet.Config, args ...string) epnet.Config {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var l Loader
+	l.Bind(fs, base)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := l.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestLoaderPrecedence pins the documented resolution order: base, then
+// -preset (replaces), then -scenario (overlays), then explicitly set
+// flags — and, crucially, that flag defaults never clobber anything.
+func TestLoaderPrecedence(t *testing.T) {
+	base := epnet.DefaultConfig()
+	base.Warmup = 123 * time.Microsecond
+
+	// No flags: the base comes back untouched.
+	if got := resolve(t, base); got.Warmup != base.Warmup || got.K != base.K {
+		t.Errorf("bare resolve mutated the base: %+v", got)
+	}
+
+	// A non-default base survives binding: the flag defaults mirror it,
+	// so parsing no flags cannot regress it to library defaults.
+	big := epnet.DefaultConfig()
+	big.K, big.C = 15, 15
+	if got := resolve(t, big); got.K != 15 || got.C != 15 {
+		t.Errorf("non-default base regressed: k=%d c=%d", got.K, got.C)
+	}
+
+	// -preset replaces the base wholesale.
+	p, err := epnet.Preset("paper-clos3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resolve(t, base, "-preset", "paper-clos3")
+	if got.Topology != p.Topology || got.K != p.K {
+		t.Errorf("-preset did not replace the base: got %s k=%d, want %s k=%d",
+			got.Topology, got.K, p.Topology, p.K)
+	}
+
+	// An explicit flag overrides the preset; untouched preset fields stay.
+	got = resolve(t, base, "-preset", "paper-clos3", "-k", "4")
+	if got.K != 4 {
+		t.Errorf("explicit -k lost to the preset: k=%d", got.K)
+	}
+	if got.Topology != p.Topology {
+		t.Errorf("explicit -k clobbered unrelated preset fields: topology=%s", got.Topology)
+	}
+
+	// A scenario's config block overlays the base, and explicit flags
+	// still win over the scenario.
+	dir := t.TempDir()
+	doc := `{"version": 1, "config": {"seed": 99, "k": 6, "c": 6},
+	  "phases": [{"name": "only", "duration": "100us",
+	    "traffic": [{"workload": "uniform"}]}]}`
+	path := filepath.Join(dir, "s.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got = resolve(t, base, "-scenario", path)
+	if got.Seed != 99 || got.K != 6 {
+		t.Errorf("scenario config block not applied: seed=%d k=%d", got.Seed, got.K)
+	}
+	if got.Warmup != base.Warmup {
+		t.Errorf("scenario clobbered a base field it never set: warmup=%v", got.Warmup)
+	}
+	got = resolve(t, base, "-scenario", path, "-seed", "7")
+	if got.Seed != 7 {
+		t.Errorf("explicit -seed lost to the scenario: seed=%d", got.Seed)
+	}
+	if got.K != 6 {
+		t.Errorf("explicit -seed clobbered the scenario's k: %d", got.K)
+	}
+
+	// Unknown references and bad scenario files are loader errors.
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var l Loader
+	l.Bind(fs, base)
+	if err := fs.Parse([]string{"-preset", "nope"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Resolve(); err == nil {
+		t.Error("unknown preset resolved without error")
+	}
+}
+
+// TestResolveFrom pins the cmd/experiments hook: the alternative base
+// wins over the bound one, and explicit flags still apply on top.
+func TestResolveFrom(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var l Loader
+	l.Bind(fs, epnet.DefaultConfig())
+	if err := fs.Parse([]string{"-warmup", "77us"}); err != nil {
+		t.Fatal(err)
+	}
+	alt := epnet.PaperConfig()
+	got, err := l.ResolveFrom(alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != alt.K || got.Topology != alt.Topology {
+		t.Errorf("ResolveFrom ignored the alternative base: k=%d", got.K)
+	}
+	if got.Warmup != 77*time.Microsecond {
+		t.Errorf("explicit flag not applied over the alternative base: %v", got.Warmup)
+	}
+}

@@ -1,0 +1,49 @@
+package scenario
+
+// PhaseSeed derives the deterministic RNG seed for one named stream of
+// one named phase from the run seed. The derivation is pinned — FNV-1a
+// over the phase name, a fixed separator, FNV-1a over the stream
+// label, a splitmix64 finalizer, XORed onto the run seed — and depends
+// only on (seed, phase, stream), never on the phase's position in the
+// scenario. Inserting, removing, or reordering phases therefore never
+// perturbs another phase's traffic or fault history; only renaming a
+// phase re-rolls its streams.
+//
+// The first phase's first traffic stream is the exception by design:
+// the embedding package gives it the run seed verbatim, so a
+// single-phase scenario reproduces the equivalent flag-configured run
+// byte for byte.
+func PhaseSeed(seed int64, phase, stream string) int64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(phase); i++ {
+		h ^= uint64(phase[i])
+		h *= fnvPrime
+	}
+	h ^= 0x9E3779B97F4A7C15 // separator: "a"/"bc" != "ab"/"c"
+	for i := 0; i < len(stream); i++ {
+		h ^= uint64(stream[i])
+		h *= fnvPrime
+	}
+	// splitmix64 finalizer: phase/stream labels are short and
+	// low-entropy, the generators want well-mixed seeds.
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return seed ^ int64(h)
+}
+
+// sliceSeed derives the seed for slice s of a shaped (paced) stream.
+// Slice 0 keeps the stream seed, so a one-step shape degenerates to
+// the unshaped stream exactly.
+func sliceSeed(seed int64, s int) int64 {
+	if s == 0 {
+		return seed
+	}
+	return seed ^ int64(s)*-0x61C8864680B583EB // golden-ratio odd multiplier
+}

@@ -129,8 +129,9 @@ func (u *Uniform) Start(e *sim.Engine, tgt Target, horizon sim.Time) {
 			}
 			e.After(gap, send)
 		}
-		// Random start phase to avoid synchronized injection.
-		e.At(sim.Time(rng.Int63n(int64(meanGapSec*float64(sim.Second))+1)), send)
+		// Random start phase to avoid synchronized injection. Scheduled
+		// relative to the current clock so generators can start mid-run.
+		e.After(sim.Time(rng.Int63n(int64(meanGapSec*float64(sim.Second))+1)), send)
 	}
 }
 
@@ -274,7 +275,7 @@ func (t *TraceLike) Start(e *sim.Engine, tgt Target, horizon sim.Time) {
 			e.After(gap, loop)
 		}
 		start := sim.Time(crng.Float64() * think.Mean() * float64(sim.Second))
-		e.At(start, loop)
+		e.After(start, loop)
 	}
 
 	if t.ShuffleFrac == 0 {
@@ -305,7 +306,7 @@ func (t *TraceLike) Start(e *sim.Engine, tgt Target, horizon sim.Time) {
 			e.After(gap, loop)
 		}
 		start := sim.Time(hrng.Float64() * shuffleGap.Mean() * float64(sim.Second))
-		e.At(start, loop)
+		e.After(start, loop)
 	}
 }
 
@@ -349,7 +350,7 @@ func (p *Permutation) Start(e *sim.Engine, tgt Target, horizon sim.Time) {
 			}
 			e.After(gap, send)
 		}
-		e.At(sim.Time(hrng.Int63n(int64(meanGapSec*float64(sim.Second))+1)), send)
+		e.After(sim.Time(hrng.Int63n(int64(meanGapSec*float64(sim.Second))+1)), send)
 	}
 }
 
@@ -395,7 +396,7 @@ func (p *Hotspot) Start(e *sim.Engine, tgt Target, horizon sim.Time) {
 			}
 			e.After(gap, send)
 		}
-		e.At(sim.Time(hrng.Int63n(int64(meanGapSec*float64(sim.Second))+1)), send)
+		e.After(sim.Time(hrng.Int63n(int64(meanGapSec*float64(sim.Second))+1)), send)
 	}
 }
 
@@ -439,6 +440,6 @@ func (p *Tornado) Start(e *sim.Engine, tgt Target, horizon sim.Time) {
 			}
 			e.After(gap, send)
 		}
-		e.At(sim.Time(hrng.Int63n(int64(meanGapSec*float64(sim.Second))+1)), send)
+		e.After(sim.Time(hrng.Int63n(int64(meanGapSec*float64(sim.Second))+1)), send)
 	}
 }

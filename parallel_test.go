@@ -11,12 +11,11 @@ import (
 // tests fast while still exercising warmup, the EP controller and all
 // three workloads.
 func tinyEval() EvalConfig {
-	return EvalConfig{
-		K: 4, N: 2, C: 4,
-		Warmup:   100 * time.Microsecond,
-		Duration: 400 * time.Microsecond,
-		Seed:     1,
-	}
+	e := DefaultEval()
+	e.K, e.N, e.C = 4, 2, 4
+	e.Warmup = 100 * time.Microsecond
+	e.Duration = 400 * time.Microsecond
+	return e
 }
 
 // TestParallelMatchesSerial is the determinism guarantee behind the

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
 	"time"
 
 	"epnet/internal/core"
@@ -18,7 +17,6 @@ import (
 	"epnet/internal/stats"
 	"epnet/internal/telemetry"
 	"epnet/internal/topo"
-	"epnet/internal/traffic"
 )
 
 // simTime converts a wall-clock-style duration to simulator picoseconds.
@@ -58,60 +56,9 @@ func buildTopology(cfg Config) (topo.Topology, routing.Router, *routing.FBFLY, e
 	}
 }
 
-// buildWorkload constructs the configured workload.
-func buildWorkload(cfg Config) (traffic.Workload, error) {
-	var w traffic.Workload
-	switch cfg.Workload {
-	case WorkloadTrace:
-		f, err := os.Open(cfg.TracePath)
-		if err != nil {
-			return nil, fmt.Errorf("epnet: opening trace: %w", err)
-		}
-		defer f.Close()
-		recs, err := traffic.ReadTrace(f)
-		if err != nil {
-			return nil, err
-		}
-		return &traffic.Replay{Label: cfg.TracePath, Records: recs}, nil
-	case WorkloadSearch:
-		tl := traffic.Search(cfg.Seed)
-		if cfg.Load > 0 {
-			tl.Load = cfg.Load
-		}
-		w = tl
-	case WorkloadAdvert:
-		tl := traffic.Advert(cfg.Seed)
-		if cfg.Load > 0 {
-			tl.Load = cfg.Load
-		}
-		w = tl
-	case WorkloadPermutation:
-		load := cfg.Load
-		if load == 0 {
-			load = 0.1
-		}
-		w = &traffic.Permutation{MsgBytes: 64 * 1024, Load: load, LineRate: link.Rate40G, Seed: cfg.Seed}
-	case WorkloadTornado:
-		load := cfg.Load
-		if load == 0 {
-			load = 0.1
-		}
-		w = &traffic.Tornado{MsgBytes: 64 * 1024, Load: load, LineRate: link.Rate40G, Seed: cfg.Seed}
-	case WorkloadHotspot:
-		load := cfg.Load
-		if load == 0 {
-			load = 0.05
-		}
-		w = &traffic.Hotspot{MsgBytes: 64 * 1024, Load: load, LineRate: link.Rate40G, Hot: 4, Seed: cfg.Seed}
-	default:
-		u := traffic.DefaultUniform(cfg.Seed)
-		if cfg.Load > 0 {
-			u.Load = cfg.Load
-		}
-		w = u
-	}
-	return w, nil
-}
+// Workload construction lives in scenario.go: every run — flag-
+// configured or scenario-driven — resolves through buildPlan into
+// streaming sources, so there is exactly one traffic codepath.
 
 // advance drives the network to until, checking ctx for cooperative
 // cancellation at every epoch boundary. A context that can never be
@@ -138,11 +85,11 @@ func advance(ctx context.Context, net *fabric.Network, until, epoch sim.Time) er
 	return nil
 }
 
-// buildInjector constructs and wires the fault injector when cfg asks
-// for any kind of fault, or returns nil.
-func buildInjector(cfg Config, net *fabric.Network, router routing.Router,
+// buildInjector constructs and wires the fault injector when cfg or the
+// run plan asks for any kind of fault, or returns nil.
+func buildInjector(cfg Config, plan *runPlan, net *fabric.Network, router routing.Router,
 	fbflyRouter *routing.FBFLY, ladder link.RateLadder) (*fault.Injector, error) {
-	if cfg.Faults == "" && cfg.FaultRate <= 0 && cfg.FailLinks <= 0 {
+	if cfg.Faults == "" && cfg.FaultRate <= 0 && cfg.FailLinks <= 0 && !plan.hasChaos {
 		return nil, nil
 	}
 	masker, ok := router.(routing.PortMasker)
@@ -160,9 +107,10 @@ func buildInjector(cfg Config, net *fabric.Network, router routing.Router,
 		inj.RepairReactivation = simTime(cfg.Reactivation)
 		inj.DegradeReactivation = simTime(cfg.Reactivation)
 	}
-	if cfg.Policy == PolicyBaseline {
+	if cfg.Policy == PolicyBaseline && !plan.policySwitch {
 		// No controller will climb the ladder; a restored link retunes
-		// straight back to line rate.
+		// straight back to line rate. (A scenario that switches policy
+		// forces the controller on, which climbs by itself.)
 		inj.RestoreRate = ladder.Max()
 	}
 	if fbflyRouter != nil {
@@ -263,12 +211,20 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		net.SetProfiler(eprof)
 	}
 
+	// Resolve the run into its phase plan. A flag-configured run is the
+	// implicit single steady phase; a scenario contributes its phases.
+	// Either way the traffic below starts from streaming sources.
+	warmup := simTime(cfg.Warmup)
+	horizon := warmup + simTime(cfg.Duration)
+	plan, err := buildPlan(cfg, warmup, horizon)
+	if err != nil {
+		return Result{}, err
+	}
+
 	// Latency is recorded only for packets injected after warmup. The
 	// delivery callbacks run on the shard owning the destination host,
 	// so each shard accumulates into its own Latency; the integer-based
 	// Merge after the run makes the totals independent of shard count.
-	warmup := simTime(cfg.Warmup)
-	horizon := warmup + simTime(cfg.Duration)
 	lats := make([]*stats.Latency, net.NumShards())
 	msgLats := make([]*stats.Latency, net.NumShards())
 	for i := range lats {
@@ -286,16 +242,25 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		}
 	}
 
-	// Link control.
+	// Link control. A scenario that switches policy mid-run forces the
+	// controller on even when the opening policy is baseline/static-min
+	// (as a Static pin) — something has to execute the switch.
 	var ctrl *core.Controller
-	switch cfg.Policy {
-	case PolicyBaseline:
+	switch {
+	case cfg.Policy == PolicyBaseline && !plan.policySwitch:
 		// Links stay at the ladder maximum; nothing to do.
-	case PolicyStaticMin:
+	case cfg.Policy == PolicyStaticMin && !plan.policySwitch:
 		for _, ch := range net.Channels() {
 			ch.L.SetRate(0, fcfg.Ladder.Min(), 0)
 		}
 	default:
+		if cfg.Policy == PolicyStaticMin {
+			// Start at the floor immediately; the controller holds it
+			// there until a phase switches policy.
+			for _, ch := range net.Channels() {
+				ch.L.SetRate(0, fcfg.Ladder.Min(), 0)
+			}
+		}
 		ctrl = &core.Controller{
 			Net:          net,
 			Epoch:        simTime(cfg.Epoch),
@@ -303,16 +268,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 			Paired:       !cfg.Independent,
 		}
 		ctrl.ModeAware = cfg.ModeAwareReactivation
-		switch cfg.Policy {
-		case PolicyMinMax:
-			ctrl.Policy = core.MinMax{Target: cfg.TargetUtil}
-		case PolicyHysteresis:
-			ctrl.Policy = core.Hysteresis{Target: cfg.TargetUtil}
-		case PolicyQueueAware:
-			ctrl.Policy = core.QueueAware{Target: cfg.TargetUtil, BurstBytes: 64 * 1024}
-		default:
-			ctrl.Policy = core.HalveDouble{Target: cfg.TargetUtil}
-		}
+		ctrl.Policy = resolveCorePolicy(cfg.Policy, cfg.TargetUtil, fcfg.Ladder)
 		if err := ctrl.Start(); err != nil {
 			return Result{}, err
 		}
@@ -331,10 +287,28 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	}
 
 	// Fault injection: one injector executes the explicit schedule, the
-	// seeded-random process, and the legacy abrupt-failure batch.
-	inj, err := buildInjector(cfg, net, router, fbflyRouter, fcfg.Ladder)
+	// seeded-random process, the legacy abrupt-failure batch, and the
+	// scenario's chaos campaigns.
+	inj, err := buildInjector(cfg, plan, net, router, fbflyRouter, fcfg.Ladder)
 	if err != nil {
 		return Result{}, err
+	}
+
+	// Per-phase scorecard (multi-phase scenarios only): snapshot events
+	// at the inner phase boundaries plus per-phase latency recorders.
+	// Single-phase runs skip all of it, so their event sequence — and
+	// thus every result byte — matches the equivalent flag run.
+	var acct *phaseAccounting
+	if plan.multi {
+		acct = newPhaseAccounting(plan, net, ctrl, inj)
+		acct.schedule(e)
+		net.OnDeliver = func(p *fabric.Packet, now sim.Time) {
+			if p.Inject >= warmup {
+				sh := net.HostShard(p.Dst)
+				lats[sh].Add(now - p.Inject)
+				acct.record(sh, p.Inject, now-p.Inject)
+			}
+		}
 	}
 
 	// Optional telemetry: the controller's epoch tick is already
@@ -345,18 +319,20 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
-	// Workload. From here on, every early return funnels through
+	// Traffic. Phase 0's sources start inline here — the engine is at
+	// t=0, the exact call site the single-workload path used — and each
+	// later phase's traffic and policy switch is scheduled at its
+	// boundary. From here on, every early return funnels through
 	// obs.finish so files the observer opened are flushed and closed,
 	// and any latched telemetry write error surfaces (finish is
 	// idempotent and nil-safe).
-	w, err := buildWorkload(cfg)
-	if err != nil {
-		return Result{}, errors.Join(err, obs.finish(e.Now()))
-	}
-	w.Start(e, net, horizon)
+	plan.start(e, net, ctrl, fcfg.Ladder)
 
 	if inj != nil {
 		if err := scheduleFaults(cfg, e, inj, warmup, horizon); err != nil {
+			return Result{}, errors.Join(err, obs.finish(e.Now()))
+		}
+		if err := scheduleChaos(cfg, plan, inj, warmup); err != nil {
 			return Result{}, errors.Join(err, obs.finish(e.Now()))
 		}
 	}
@@ -418,8 +394,16 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if ctrl != nil {
 		ctrl.Reconfigurations = 0
 	}
+	if acct != nil {
+		// Phase 0's measured slice starts here, with counters exactly as
+		// the reset left them.
+		acct.snaps[0] = acct.snapshot()
+	}
 	if err := advance(ctx, net, horizon, epoch); err != nil {
 		return Result{}, errors.Join(err, obs.finish(e.Now()))
+	}
+	if acct != nil {
+		acct.snaps[len(plan.phases)] = acct.snapshot()
 	}
 	if err := obs.finish(e.Now()); err != nil {
 		return Result{}, err
@@ -578,6 +562,9 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	res.BacklogBytes = net.HostBacklogBytes()
 	res.PeakQueueBytes = net.PeakQueueBytes()
 	res.PowerTrace = trace
+	if acct != nil {
+		res.PhaseScores = acct.scores(warmup, t.NumHosts(), fcfg.Ladder)
+	}
 	if eprof != nil {
 		res.Profile = newEngineProfile(eprof.Snapshot())
 		if cfg.ProfileOut != "" {
