@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-compare fmt fmt-check experiments smoke-faults smoke-scenarios observe-demo profile-demo
+.PHONY: all build test race vet bench bench-json bench-compare fmt fmt-check experiments smoke-faults smoke-scenarios smoke-flows observe-demo profile-demo
 
 all: build test
 
@@ -66,6 +66,21 @@ smoke-scenarios:
 	$(GO) run ./cmd/epsim -scenario chaos -warmup 100us -shards 4
 	$(GO) test -race ./internal/scenario/
 	$(GO) test -run 'TestScenario|TestSinglePhaseScenarioMatchesFlagRun|TestPhaseInsertionStability|TestPresetLoadsAsScenario' .
+
+# Flow tracing end to end: the chaos scenario traced serially and
+# sharded, with the two -flows-out reports compared byte for byte (the
+# tracer rides the determinism contract), then the flow-trace and
+# flight-recorder tests under the race detector. Files land in
+# /tmp/epnet-flows.
+smoke-flows:
+	mkdir -p /tmp/epnet-flows
+	$(GO) run ./cmd/epsim -scenario chaos -warmup 100us -shards 1 \
+		-flow-sample 1 -flows-out /tmp/epnet-flows/serial.json
+	$(GO) run ./cmd/epsim -scenario chaos -warmup 100us -shards 4 \
+		-flow-sample 1 -flows-out /tmp/epnet-flows/sharded.json
+	cmp /tmp/epnet-flows/serial.json /tmp/epnet-flows/sharded.json
+	$(GO) test -race -run 'FlowTrace|FlightRecorder' ./internal/telemetry/ ./internal/fabric/ .
+	@ls -l /tmp/epnet-flows
 
 # Short run with the full observability stack on: labeled metrics CSV,
 # utilization heatmap + histogram, per-link attribution, and one live

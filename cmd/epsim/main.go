@@ -16,11 +16,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"epnet"
@@ -122,8 +125,22 @@ func main() {
 			}
 		}
 	}
+	// SIGINT/SIGTERM cancel the run cooperatively at the next epoch
+	// boundary: the run flushes every output it opened (-metrics-out,
+	// -profile-out, -flows-out, ...) before returning, and the inspector
+	// is shut down so in-flight scrapes finish cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	start := time.Now()
-	res, err := epnet.Run(cfg)
+	res, err := epnet.RunContext(ctx, cfg)
+	stop()
+	if insp := cfg.Inspector; insp != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if serr := insp.Shutdown(sctx); serr != nil {
+			fmt.Fprintln(os.Stderr, "epsim:", serr)
+		}
+		cancel()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "epsim:", err)
 		os.Exit(1)
@@ -221,6 +238,12 @@ func main() {
 			fmt.Printf("  %-10v power %5.1f%% %-30s load %5.1f%% %s\n",
 				s.At, s.Measured*100, bars(s.Measured, 30),
 				s.Util*100, bars(s.Util, 30))
+		}
+	}
+	if res.FlowTrace != nil {
+		if err := res.FlowTrace.WriteReport(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "epsim:", err)
+			os.Exit(1)
 		}
 	}
 	if res.Profile != nil {

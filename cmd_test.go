@@ -4,11 +4,14 @@ package epnet
 // built once and exercised on its primary path. Skipped with -short.
 
 import (
+	"bytes"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // buildTool compiles one cmd into a temp dir and returns its path.
@@ -105,6 +108,50 @@ func TestCommandsSmoke(t *testing.T) {
 		}
 	})
 
+	t.Run("epsim-flow-trace", func(t *testing.T) {
+		es := buildTool(t, dir, "epsim")
+		out := runTool(t, es, "-scenario", "chaos", "-warmup", "50us",
+			"-flow-trace", "-flow-sample", "1")
+		for _, want := range []string{
+			"flow trace: sample rate 1",
+			"slowest traced packets:",
+			"anomaly dumps:",
+			"pJ/bit",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("flow-trace run missing %q:\n%s", want, out)
+			}
+		}
+		// -flows-out implies -flow-trace and writes the CSV decomposition.
+		flows := filepath.Join(dir, "flows.csv")
+		runTool(t, es, "-duration", "300us", "-warmup", "100us", "-flows-out", flows)
+		data, err := os.ReadFile(flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "phase,count,drops,bytes,") {
+			t.Errorf("flows CSV missing header:\n%s", data)
+		}
+	})
+
+	t.Run("epsim-trace-out-notice", func(t *testing.T) {
+		es := buildTool(t, dir, "epsim")
+		// The Chrome tracer needs the serial engine. With auto shards the
+		// fallback must be announced, not silent.
+		trace := filepath.Join(dir, "chrome.json")
+		out := runTool(t, es, "-duration", "200us", "-warmup", "50us", "-trace-out", trace)
+		const notice = "-trace-out needs the serial engine; running with shards=1"
+		if !strings.Contains(out, notice) {
+			t.Errorf("auto-shard trace run missing notice %q:\n%s", notice, out)
+		}
+		// An explicit -shards 1 is not a fallback: no notice.
+		out = runTool(t, es, "-duration", "200us", "-warmup", "50us",
+			"-shards", "1", "-trace-out", trace)
+		if strings.Contains(out, notice) {
+			t.Errorf("explicit -shards 1 still printed the fallback notice:\n%s", out)
+		}
+	})
+
 	t.Run("epsim-json", func(t *testing.T) {
 		es := buildTool(t, dir, "epsim")
 		out := runTool(t, es, "-json", "-duration", "300us", "-warmup", "100us")
@@ -146,5 +193,55 @@ func TestSweepSmoke(t *testing.T) {
 	cmd := exec.Command(bin, "-x", "nope", "-values", "1")
 	if err := cmd.Run(); err == nil {
 		t.Error("unknown axis accepted")
+	}
+}
+
+// TestEpsimGracefulShutdown pins the SIGTERM contract: the run stops
+// cooperatively at the next epoch boundary, reports the cancellation,
+// shuts the inspector down, and still flushes every output it opened.
+func TestEpsimGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd smoke tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := buildTool(t, dir, "epsim")
+	metrics := filepath.Join(dir, "metrics.csv")
+	flows := filepath.Join(dir, "flows.json")
+	// A one-second simulation takes minutes of wall time, so the signal
+	// always lands mid-run.
+	cmd := exec.Command(bin, "-duration", "1s", "-warmup", "100us",
+		"-listen", "127.0.0.1:0", "-metrics-out", metrics, "-flows-out", flows)
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Second) // past startup: handler installed, outputs open
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("epsim exited clean; expected the canceled-run error:\n%s", out.String())
+		}
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("epsim did not exit after SIGTERM:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "run canceled") {
+		t.Errorf("missing cancellation report:\n%s", out.String())
+	}
+	for _, p := range []string{metrics, flows} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("output not flushed after SIGTERM: %v", err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("output %s flushed empty after SIGTERM", filepath.Base(p))
+		}
 	}
 }

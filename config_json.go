@@ -56,6 +56,9 @@ type configJSON struct {
 	Attribution      bool     `json:"attribution,omitempty"`
 	Profile          bool     `json:"profile,omitempty"`
 	ProfileOut       string   `json:"profile_out,omitempty"`
+	FlowTrace        bool     `json:"flow_trace,omitempty"`
+	FlowSample       float64  `json:"flow_sample,omitempty"`
+	FlowsOut         string   `json:"flows_out,omitempty"`
 
 	FailLinks int      `json:"fail_links,omitempty"`
 	FailAfter Duration `json:"fail_after,omitempty"`
@@ -98,6 +101,9 @@ func (c Config) wire() configJSON {
 		Attribution:           c.Attribution,
 		Profile:               c.Profile,
 		ProfileOut:            c.ProfileOut,
+		FlowTrace:             c.FlowTrace,
+		FlowSample:            c.FlowSample,
+		FlowsOut:              c.FlowsOut,
 		FailLinks:             c.FailLinks,
 		FailAfter:             Duration(c.FailAfter),
 		Faults:                c.Faults,
@@ -138,6 +144,9 @@ func (c *Config) unwire(w configJSON) {
 	c.Attribution = w.Attribution
 	c.Profile = w.Profile
 	c.ProfileOut = w.ProfileOut
+	c.FlowTrace = w.FlowTrace
+	c.FlowSample = w.FlowSample
+	c.FlowsOut = w.FlowsOut
 	c.FailLinks = w.FailLinks
 	c.FailAfter = time.Duration(w.FailAfter)
 	c.Faults = w.Faults

@@ -133,6 +133,20 @@ func TestShardDeterminismMatrix(t *testing.T) {
 		matrixCase{name: "scenario/diurnal", scenario: "diurnal", mutate: func(c *Config) {}},
 		matrixCase{name: "scenario/chaos", scenario: "chaos", faults: true, mutate: func(c *Config) {}},
 	)
+	// Flow-traced cells: hash sampling must pick the same flow set at
+	// every shard count, and the merged report (exemplars, per-phase
+	// decompositions, anomaly dumps from real drops/faults) lives inside
+	// Result.FlowTrace, so the DeepEqual below covers it byte for byte.
+	cells = append(cells,
+		matrixCase{name: "fbfly/flowtrace", mutate: func(c *Config) {
+			c.FlowTrace = true
+			c.FlowSample = 0.25
+		}},
+		matrixCase{name: "scenario/chaos-flowtrace", scenario: "chaos", faults: true, mutate: func(c *Config) {
+			c.FlowTrace = true
+			c.FlowSample = 0.25
+		}},
+	)
 	for _, mc := range cells {
 		mc := mc
 		t.Run(mc.name, func(t *testing.T) {

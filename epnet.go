@@ -251,6 +251,30 @@ type Config struct {
 	// path ends in ".csv" — and implies Profile.
 	ProfileOut string
 
+	// FlowTrace, when true, hash-samples packets at injection and carries
+	// a compact per-hop log on each sampled packet: queue wait, credit
+	// stall, retune stall, busy wait, cut-through wait, serialization,
+	// wire and routing delay, summing exactly to the packet's end-to-end
+	// latency. The run populates Result.FlowTrace with per-phase latency
+	// decompositions, energy per delivered bit, slowest-packet exemplars,
+	// and anomaly dumps (a flight-recorder ring flushed on packet drops
+	// and fault epochs). Sampling is a pure hash of the packet ID and
+	// seed, so the sampled set — and every FlowTrace byte — is identical
+	// across shard counts; with tracing off the packet path carries
+	// nothing beyond one nil check.
+	FlowTrace bool
+
+	// FlowSample is the flow-tracing sample rate in (0,1]: the expected
+	// fraction of packets carrying a hop log. 0 defaults to 1/64. 1
+	// traces every packet (exact decompositions, highest overhead).
+	FlowSample float64
+
+	// FlowsOut, when non-empty, writes the flow-trace report to this
+	// path at the end of the run — JSON by default, a per-phase
+	// decomposition CSV when the path ends in ".csv" — and implies
+	// FlowTrace.
+	FlowsOut string
+
 	// Inspector, when non-nil, receives a Prometheus scrape body and a
 	// JSON per-entity snapshot at every sample tick, for live HTTP
 	// inspection of a running simulation (see NewInspector). Excluded
@@ -467,6 +491,15 @@ func (c *Config) Validate() error {
 	if c.MaxPacket < 64 {
 		return fieldErr("MaxPacket", "%d below the 64-byte minimum", c.MaxPacket)
 	}
+	if c.FlowsOut != "" {
+		c.FlowTrace = true
+	}
+	if c.FlowSample < 0 || c.FlowSample > 1 {
+		return fieldErr("FlowSample", "%v out of (0,1]", c.FlowSample)
+	}
+	if c.FlowTrace && c.FlowSample == 0 {
+		c.FlowSample = 1.0 / 64
+	}
 	if c.Shards < 0 {
 		return fieldErr("Shards", "must be >= 0, got %d", c.Shards)
 	}
@@ -617,6 +650,14 @@ type Result struct {
 	// its occupancy-weighted relative power under the measured profile.
 	Attribution []LinkAttribution
 
+	// FlowTrace is the per-flow latency and energy decomposition
+	// (populated only when Config.FlowTrace or Config.FlowsOut is set):
+	// per-phase component breakdowns, energy per delivered bit,
+	// slowest-packet exemplars with full hop logs, and anomaly dumps
+	// from the flight recorder. Fully deterministic — byte-identical
+	// across shard counts for the same Config.
+	FlowTrace *FlowTraceReport
+
 	// Profile is the engine self-profile (populated only when
 	// Config.Profile or Config.ProfileOut is set). Unlike every other
 	// field it contains wall-clock measurements and is therefore not
@@ -697,6 +738,24 @@ type PhaseScore struct {
 	// fault events (repairs included) within the phase.
 	Reconfigurations int64
 	FaultEvents      int64
+
+	// Flow-trace decomposition of the phase (populated only when
+	// Config.FlowTrace is set): TracedPackets/TracedDropped count the
+	// hash-sampled packets finishing in the phase, and the per-component
+	// means split a traced packet's end-to-end latency — they sum to the
+	// traced mean latency. EnergyPJPerBit charges each traced byte its
+	// share of the channels it crossed (picojoules per delivered bit).
+	TracedPackets  int64
+	TracedDropped  int64
+	QueueWait      time.Duration
+	CreditStall    time.Duration
+	RetuneStall    time.Duration
+	BusyWait       time.Duration
+	CutThroughWait time.Duration
+	SerializeTime  time.Duration
+	WireTime       time.Duration
+	RouteTime      time.Duration
+	EnergyPJPerBit float64
 }
 
 // PowerSample is one instant of the power-vs-load time series.

@@ -47,6 +47,9 @@ type TelemetryOpts struct {
 	HeatmapOut     string // base path for utilization heatmap CSVs ("" = off)
 	HistOut        string // base path for utilization histogram CSVs ("" = off)
 	ProfileOut     string // base path for engine self-profiles ("" = off)
+	FlowsOut       string // base path for flow-trace reports ("" = off)
+	FlowTrace      bool   // trace flows even without a FlowsOut file
+	FlowSample     float64
 	SampleInterval time.Duration
 
 	// Inspector, when non-nil, is shared by every simulation of the
@@ -67,7 +70,8 @@ func numberedPath(path string, n int) string {
 // It is a no-op on a nil receiver or when every output is disabled.
 func (t *TelemetryOpts) Apply(cfgs []Config) {
 	if t == nil || (t.MetricsOut == "" && t.TraceOut == "" && t.HeatmapOut == "" &&
-		t.HistOut == "" && t.ProfileOut == "" && t.Inspector == nil) {
+		t.HistOut == "" && t.ProfileOut == "" && t.FlowsOut == "" &&
+		!t.FlowTrace && t.Inspector == nil) {
 		return
 	}
 	for i := range cfgs {
@@ -75,6 +79,15 @@ func (t *TelemetryOpts) Apply(cfgs []Config) {
 		t.seq++
 		cfgs[i].SampleInterval = t.SampleInterval
 		cfgs[i].Inspector = t.Inspector
+		if t.FlowTrace {
+			cfgs[i].FlowTrace = true
+		}
+		if t.FlowSample > 0 {
+			cfgs[i].FlowSample = t.FlowSample
+		}
+		if t.FlowsOut != "" {
+			cfgs[i].FlowsOut = numberedPath(t.FlowsOut, n)
+		}
 		if t.MetricsOut != "" {
 			cfgs[i].MetricsOut = numberedPath(t.MetricsOut, n)
 		}

@@ -1,6 +1,7 @@
 package epnet
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -12,7 +13,9 @@ import (
 // text-format scrape of the telemetry registry at /metrics, a JSON
 // per-entity snapshot (link rates, power, queue depths, live outages)
 // at /snapshot, the live engine self-profile at /profile (when
-// Config.Profile is on), and net/http/pprof under /debug/pprof/.
+// Config.Profile is on), the live flow-trace decomposition at /flows
+// (when Config.FlowTrace is on), and net/http/pprof under
+// /debug/pprof/.
 //
 // The engine thread renders both documents to bytes at every sampler
 // tick and publishes them with one atomic pointer swap; HTTP handlers
@@ -23,14 +26,19 @@ import (
 // is an internally consistent view of whichever run sampled last.
 type Inspector struct {
 	cur atomic.Pointer[inspection]
+
+	// srv and ln are set by StartInspector only, for Shutdown.
+	srv *http.Server
+	ln  net.Listener
 }
 
-// inspection is one published (scrape, snapshot, profile) triple; prof
-// is nil when the publishing run has profiling off.
+// inspection is one published document set; prof is nil when the
+// publishing run has profiling off, flows when flow tracing is off.
 type inspection struct {
-	prom []byte
-	snap []byte
-	prof []byte
+	prom  []byte
+	snap  []byte
+	prof  []byte
+	flows []byte
 }
 
 // NewInspector returns an Inspector with nothing published yet. Hand
@@ -42,8 +50,8 @@ func NewInspector() *Inspector {
 
 // publish atomically replaces the served documents. Called on the
 // engine thread at every sample.
-func (i *Inspector) publish(prom, snap, prof []byte) {
-	i.cur.Store(&inspection{prom: prom, snap: snap, prof: prof})
+func (i *Inspector) publish(prom, snap, prof, flows []byte) {
+	i.cur.Store(&inspection{prom: prom, snap: snap, prof: prof, flows: flows})
 }
 
 // PrometheusText returns the latest published scrape body, or nil if
@@ -73,6 +81,15 @@ func (i *Inspector) ProfileJSON() []byte {
 	return nil
 }
 
+// FlowsJSON returns the latest published flow-trace report, or nil if
+// no run has sampled yet or the sampling run has flow tracing off.
+func (i *Inspector) FlowsJSON() []byte {
+	if p := i.cur.Load(); p != nil {
+		return p.flows
+	}
+	return nil
+}
+
 // Handler returns the inspection mux: /, /metrics, /snapshot, and
 // /debug/pprof/.
 func (i *Inspector) Handler() http.Handler {
@@ -87,6 +104,7 @@ func (i *Inspector) Handler() http.Handler {
 			"/metrics        Prometheus text-format scrape\n"+
 			"/snapshot       JSON per-entity state (links, switches, outages, power)\n"+
 			"/profile        JSON engine self-profile (requires Config.Profile)\n"+
+			"/flows          JSON flow-trace decomposition (requires Config.FlowTrace)\n"+
 			"/debug/pprof/   Go runtime profiles\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -117,6 +135,16 @@ func (i *Inspector) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(body)
 	})
+	mux.HandleFunc("/flows", func(w http.ResponseWriter, r *http.Request) {
+		body := i.FlowsJSON()
+		if body == nil {
+			http.Error(w, "no flow trace published (enable Config.FlowTrace / epsim -flow-trace)",
+				http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -128,15 +156,29 @@ func (i *Inspector) Handler() http.Handler {
 // StartInspector listens on addr (e.g. ":9090", or "127.0.0.1:0" for
 // an ephemeral port), serves the inspection endpoints in a background
 // goroutine, and returns the inspector plus the bound address. The
-// listener lives until the process exits — the usual lifetime for a
-// diagnostics endpoint on a CLI run.
+// listener lives until the process exits or Shutdown is called.
 func StartInspector(addr string) (*Inspector, string, error) {
 	i := NewInspector()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("epnet: inspector listen: %w", err)
 	}
-	srv := &http.Server{Handler: i.Handler()}
-	go srv.Serve(ln)
+	i.ln = ln
+	i.srv = &http.Server{Handler: i.Handler()}
+	go i.srv.Serve(ln)
 	return i, ln.Addr().String(), nil
+}
+
+// Shutdown gracefully stops the HTTP server StartInspector launched,
+// waiting for in-flight requests up to ctx's deadline. A no-op on an
+// Inspector that is not serving (NewInspector), so CLI teardown can
+// call it unconditionally.
+func (i *Inspector) Shutdown(ctx context.Context) error {
+	if i.srv == nil {
+		return nil
+	}
+	if err := i.srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("epnet: inspector shutdown: %w", err)
+	}
+	return nil
 }

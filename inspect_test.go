@@ -189,7 +189,8 @@ func TestInspectorEndpoints(t *testing.T) {
 	if code, _ := get("/snapshot"); code != http.StatusServiceUnavailable {
 		t.Errorf("/snapshot before any sample = %d, want 503", code)
 	}
-	if code, body := get("/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+	if code, body := get("/"); code != http.StatusOK || !strings.Contains(body, "/metrics") ||
+		!strings.Contains(body, "/flows") {
 		t.Errorf("index = %d %q", code, body)
 	}
 	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
@@ -256,6 +257,30 @@ func TestInspectorEndpoints(t *testing.T) {
 	}
 	if doc.Outages == nil {
 		t.Error("outages should render as an empty array, not null")
+	}
+
+	// /flows publishes only when flow tracing is on: the plain run above
+	// leaves it unavailable with a hint, a traced run fills it.
+	if code, body := get("/flows"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "flow trace") {
+		t.Errorf("/flows without tracing = %d %q, want 503 + hint", code, body)
+	}
+	cfg.FlowTrace = true
+	cfg.FlowSample = 1
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	code, flows := get("/flows")
+	if code != http.StatusOK {
+		t.Fatalf("/flows = %d, want 200", code)
+	}
+	var fdoc FlowTraceReport
+	if err := json.Unmarshal([]byte(flows), &fdoc); err != nil {
+		t.Fatalf("/flows is not valid JSON: %v\n%s", err, flows)
+	}
+	if fdoc.Started == 0 || len(fdoc.Classes) == 0 {
+		t.Errorf("live flow doc traced nothing: started=%d classes=%d",
+			fdoc.Started, len(fdoc.Classes))
 	}
 }
 

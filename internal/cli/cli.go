@@ -158,6 +158,9 @@ type Outputs struct {
 	HeatmapOut     string
 	HistOut        string
 	ProfileOut     string
+	FlowTrace      bool
+	FlowSample     float64
+	FlowsOut       string
 	SampleInterval time.Duration
 	Listen         string
 
@@ -183,10 +186,16 @@ func (o *Outputs) BindOutputs(fs *flag.FlagSet, component string, perRun bool) {
 		"write the link-utilization histogram CSV (Fig 8 view) to this file"+suffix)
 	fs.StringVar(&o.ProfileOut, "profile-out", "",
 		"write the engine self-profile to this file (JSON, or CSV with a .csv extension)"+suffix)
+	fs.BoolVar(&o.FlowTrace, "flow-trace", false,
+		"hash-sample packets and decompose their latency per hop (queue/credit/retune/busy/cut-through/serialize/wire/route)")
+	fs.Float64Var(&o.FlowSample, "flow-sample", 0,
+		"flow-tracing sample rate in (0,1] (default 1/64; 1 traces every packet)")
+	fs.StringVar(&o.FlowsOut, "flows-out", "",
+		"write the flow-trace report to this file (JSON, or per-phase CSV with a .csv extension); implies -flow-trace"+suffix)
 	fs.DurationVar(&o.SampleInterval, "sample-interval", 0,
 		"metrics sampling period (default: one epoch)")
 	fs.StringVar(&o.Listen, "listen", "",
-		`serve live inspection HTTP on this address (e.g. ":9090"): /metrics, /snapshot, /profile, /debug/pprof/`)
+		`serve live inspection HTTP on this address (e.g. ":9090"): /metrics, /snapshot, /profile, /flows, /debug/pprof/`)
 }
 
 // inspector starts the live endpoint when -listen is set, announcing it
@@ -210,7 +219,24 @@ func (o *Outputs) Stamp(cfg *epnet.Config) error {
 	cfg.HeatmapOut = o.HeatmapOut
 	cfg.HistOut = o.HistOut
 	cfg.ProfileOut = o.ProfileOut
+	if o.FlowTrace {
+		cfg.FlowTrace = true
+	}
+	if o.FlowSample > 0 {
+		cfg.FlowSample = o.FlowSample
+	}
+	if o.FlowsOut != "" {
+		cfg.FlowsOut = o.FlowsOut
+	}
 	cfg.SampleInterval = o.SampleInterval
+	if o.TraceOut != "" && cfg.Shards == 0 {
+		// Auto-sharding (Shards == 0) resolves to the serial engine when
+		// packet tracing is on — say so instead of silently running
+		// serial. An explicit -shards > 1 with -trace-out is rejected by
+		// Validate with a ConfigFieldError.
+		fmt.Fprintf(os.Stderr, "%s: -trace-out needs the serial engine; running with shards=1\n",
+			o.component)
+	}
 	insp, err := o.inspector()
 	if err != nil {
 		return err
@@ -230,6 +256,9 @@ func (o *Outputs) Telemetry() (*epnet.TelemetryOpts, error) {
 		HeatmapOut:     o.HeatmapOut,
 		HistOut:        o.HistOut,
 		ProfileOut:     o.ProfileOut,
+		FlowsOut:       o.FlowsOut,
+		FlowTrace:      o.FlowTrace,
+		FlowSample:     o.FlowSample,
 		SampleInterval: o.SampleInterval,
 	}
 	insp, err := o.inspector()

@@ -55,6 +55,63 @@ func BenchmarkNetworkThroughput(b *testing.B) {
 	b.ReportMetric(float64(del-batch)/b.Elapsed().Seconds(), "pkts/sec")
 }
 
+// BenchmarkNetworkThroughputFlowTrace is the differential half of the
+// flow-tracing cost contract: the same steady-state unit as
+// BenchmarkNetworkThroughput with a flow collector attached, at the
+// default sample rate and with every packet traced. Comparing allocs/op
+// against the base benchmark (benchjson -compare) isolates what tracing
+// adds; the base benchmark itself pins the disabled path at zero
+// allocations per packet.
+func BenchmarkNetworkThroughputFlowTrace(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		rate float64
+	}{{"sampled", 1.0 / 64}, {"all", 1}} {
+		b.Run(bc.name, func(b *testing.B) {
+			const batch = 1024
+			e := sim.New()
+			f := topo.MustFBFLY(8, 2, 8)
+			n, err := New(e, f, routing.NewFBFLY(f), DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			flow := telemetry.NewFlowCollector(n.NumShards(), len(n.Channels()), bc.rate, 1)
+			flow.SetClasses([]string{"steady"}, []sim.Time{sim.Time(1) << 62})
+			n.SetFlowCollector(flow)
+			rng := rand.New(rand.NewSource(1))
+			inject := func() {
+				for j := 0; j < batch; j++ {
+					src := rng.Intn(64)
+					dst := rng.Intn(64)
+					if dst == src {
+						dst = (dst + 1) % 64
+					}
+					n.InjectMessage(src, dst, 2048)
+				}
+				e.Run()
+			}
+			inject() // reach steady state untimed
+			b.SetBytes(batch * 2048)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inject()
+			}
+			b.StopTimer()
+			inj, _ := n.Injected()
+			del, _ := n.Delivered()
+			if inj != del {
+				b.Fatalf("lost packets: %d != %d", inj, del)
+			}
+			snap := flow.Snapshot()
+			if snap.Started == 0 {
+				b.Fatal("collector traced nothing")
+			}
+			b.ReportMetric(float64(del-batch)/b.Elapsed().Seconds(), "pkts/sec")
+		})
+	}
+}
+
 // BenchmarkShardedThroughput measures the same steady-state unit as
 // BenchmarkNetworkThroughput across shard counts on a larger-radix
 // FBFLY. The workload and results are byte-identical at every shard

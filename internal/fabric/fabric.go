@@ -188,6 +188,12 @@ type Network struct {
 	// identical.
 	prof *telemetry.EngineProfiler
 
+	// flow, when set via SetFlowCollector, hash-samples packets at
+	// injection and carries a hop log on each sampled packet. Nil — the
+	// default — keeps the per-packet path to one pointer test per hook
+	// and zero allocations.
+	flow *telemetry.FlowCollector
+
 	// OnDeliver, when set, observes every delivered packet. On a sharded
 	// network it fires on the shard owning the destination host (see
 	// HostShard) — shards run concurrently, so the callback must keep
@@ -394,6 +400,14 @@ func (n *Network) InjectMessage(src, dst, size int) {
 		p := n.allocPacket(h.rt)
 		*p = Packet{ID: n.nextPktID, MsgID: n.nextMsgID, Src: src, Dst: dst,
 			Size: sz, Inject: now}
+		if n.flow != nil && n.flow.Sampled(p.ID) {
+			// Sampling hashes the packet ID against the seed: pure
+			// function, no RNG draw, so the sampled set — and every
+			// other random decision in the run — is identical at any
+			// shard count. Injection is control-plane, so the trace
+			// free lists are safe to touch here.
+			p.trace = n.flow.StartTrace(h.rt.id, p.ID, p.MsgID, src, dst, sz, now)
+		}
 		h.q.push(p)
 		h.backlogBytes += int64(sz)
 		n.injectedPkts++
@@ -449,6 +463,14 @@ func (n *Network) deliverAcross(c *Chan, pkt *Packet, start, done sim.Time) {
 	pkt.ch = c
 	pkt.chEpoch = c.failEpoch
 	c.mTx.Inc()
+	if pkt.trace != nil {
+		// Close the hop: under cut-through only the final (host-bound)
+		// serialization is on the critical path; an intermediate hop
+		// hands the head to the next switch after wire + routing delay.
+		pkt.trace.Transmit(int32(c.idx), start, done,
+			n.Cfg.WireDelay, n.Cfg.RoutingDelay, c.Dst.Kind == topo.KindHost)
+		n.flow.RecordTransmit(c.srcRT.id, start, pkt.ID, int32(c.idx), int32(pkt.Size))
+	}
 	at, fn := tailIn, n.fnDeliver
 	if c.Dst.Kind == topo.KindSwitch {
 		at, fn = headIn+n.Cfg.RoutingDelay, n.fnArrive
@@ -530,6 +552,11 @@ func (n *Network) FailChan(c *Chan, now sim.Time) {
 	c.failed = true
 	c.failEpoch++
 	c.L.PowerOff(now)
+	if n.flow != nil {
+		// Fault injection is a control event (all shards quiescent), so
+		// the flight-recorder rings are safe to merge here.
+		n.flow.FaultDump("fault: channel "+c.Label()+" failed", now)
+	}
 }
 
 // RepairChan returns a failed channel to service at rate r, paying
@@ -591,6 +618,10 @@ func (n *Network) dropPacket(rt *shardRT, p *Packet, now sim.Time, why string) {
 		} else {
 			rt.msgDead[drt.id] = append(rt.msgDead[drt.id], p.MsgID)
 		}
+	}
+	if p.trace != nil {
+		n.flow.FinishDrop(rt.id, p.trace, now, why)
+		p.trace = nil
 	}
 	n.freePacket(rt, p)
 }

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"epnet/internal/sim"
+	"epnet/internal/telemetry"
 )
 
 // Packet is the unit of transfer in the simulator. Messages larger than
@@ -43,6 +44,14 @@ type Packet struct {
 	// epoch: an arrival whose snapshot no longer matches was in flight
 	// when the channel died and is dropped.
 	chEpoch uint32
+
+	// trace is the packet's hop log when it was hash-sampled by an
+	// attached flow collector, nil otherwise — every tracing hook on
+	// the hot path is behind this one pointer test. The trace rides the
+	// packet across shard exchanges (the staged event's arg is the
+	// packet), and ownership follows the packet: only the shard
+	// currently executing the packet's events touches it.
+	trace *telemetry.PacketTrace
 }
 
 // pktQueue is an allocation-friendly FIFO of packets.

@@ -707,6 +707,21 @@ func (n *Network) SetProfiler(p *telemetry.EngineProfiler) {
 // Profiler returns the attached engine self-profiler, or nil.
 func (n *Network) Profiler() *telemetry.EngineProfiler { return n.prof }
 
+// SetFlowCollector attaches (or with nil, detaches) a flow-trace
+// collector: from then on injected packets are hash-sampled and carry
+// hop logs (see telemetry.FlowCollector). Call while the network is
+// quiescent — before the first RunUntil, or between runs — never
+// mid-run. Unlike the Chrome tracer, flow tracing works sharded: every
+// hook writes only packet-owned or shard-owned single-writer state, and
+// the collector merges at quiescent points, so traced Results stay
+// byte-identical across shard counts.
+func (n *Network) SetFlowCollector(fc *telemetry.FlowCollector) {
+	n.flow = fc
+}
+
+// FlowCollector returns the attached flow-trace collector, or nil.
+func (n *Network) FlowCollector() *telemetry.FlowCollector { return n.flow }
+
 // RunUntil advances the simulation to the given time: the shard group's
 // windowed loop when sharded, the engine directly when serial.
 func (n *Network) RunUntil(until sim.Time) {

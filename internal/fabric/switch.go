@@ -88,6 +88,9 @@ func (s *Switch) Closing(port int) bool { return s.closing[port] }
 // enqueue it.
 func (s *Switch) arrive(pkt *Packet, now sim.Time) {
 	pkt.Hops++
+	if pkt.trace != nil {
+		pkt.trace.ArriveHop(int32(s.id), now)
+	}
 	if s.net.faultsEnabled {
 		if s.net.deadSwitch[s.id] {
 			s.net.dropPacket(s.rt, pkt, now, "arrived at crashed switch")
@@ -230,6 +233,15 @@ func (s *Switch) pumpOut(port int, now sim.Time) {
 		if ch == nil {
 			panic(fmt.Sprintf("fabric: sw%d pump on unwired port %d", s.id, port))
 		}
+		pkt := q.peek()
+		// Flow tracing: attribute the head packet's time since the last
+		// visit to whatever blocked it then, and mark why it stalls now.
+		// Pure writes to the packet's own log — never a branch in the
+		// simulation itself, so determinism is untouched.
+		tr := pkt.trace
+		if tr != nil {
+			tr.Account(now)
+		}
 		avail, on := ch.L.AvailableAt(now)
 		if !on {
 			// Channel was powered off with packets queued (a dynamic
@@ -238,17 +250,25 @@ func (s *Switch) pumpOut(port int, now sim.Time) {
 			return
 		}
 		if avail > now {
+			if tr != nil {
+				tr.WaitAvailable(avail, ch.L.ReconfigUntil(now))
+			}
 			s.scheduleWake(port, avail)
 			return
 		}
-		pkt := q.peek()
 		// Cut-through causality: retransmission may not finish before
 		// the tail has arrived here.
 		if t := pkt.TailIn - ch.L.Rate().TransmitTime(pkt.Size); t > now {
+			if tr != nil {
+				tr.Block(telemetry.FlowCut)
+			}
 			s.scheduleWake(port, t)
 			return
 		}
 		if !ch.takeCredits(pkt.Size) {
+			if tr != nil {
+				tr.Block(telemetry.FlowCredit)
+			}
 			ch.waiting = true
 			return
 		}
@@ -334,16 +354,26 @@ func (h *Host) scheduleWake(at sim.Time) {
 // pump injects queued packets while the uplink and credits allow.
 func (h *Host) pump(now sim.Time) {
 	for !h.q.empty() {
+		pkt := h.q.peek()
+		tr := pkt.trace
+		if tr != nil {
+			tr.Account(now)
+		}
 		avail, on := h.out.L.AvailableAt(now)
 		if !on {
 			return // host links are never powered off in practice
 		}
 		if avail > now {
+			if tr != nil {
+				tr.WaitAvailable(avail, h.out.L.ReconfigUntil(now))
+			}
 			h.scheduleWake(avail)
 			return
 		}
-		pkt := h.q.peek()
 		if !h.out.takeCredits(pkt.Size) {
+			if tr != nil {
+				tr.Block(telemetry.FlowCredit)
+			}
 			h.out.waiting = true
 			return
 		}
@@ -381,6 +411,10 @@ func (h *Host) deliver(pkt *Packet, now sim.Time) {
 				h.rt.msgRemaining[pkt.MsgID] = rem
 			}
 		}
+	}
+	if pkt.trace != nil {
+		h.net.flow.FinishDeliver(h.rt.id, pkt.trace, now)
+		pkt.trace = nil
 	}
 	h.net.freePacket(h.rt, pkt)
 }

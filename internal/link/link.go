@@ -461,6 +461,17 @@ func (c *Channel) AvailableAt(now sim.Time) (sim.Time, bool) {
 	return t, true
 }
 
+// ReconfigUntil returns the deadline of an in-progress reactivation, or
+// zero when the channel is not reconfiguring at now. It lets callers
+// split a wait reported by AvailableAt into its retune portion
+// (now..reconfigUntil) and its serialization-busy remainder.
+func (c *Channel) ReconfigUntil(now sim.Time) sim.Time {
+	if c.state == Reconfiguring && c.reconfigUntil > now {
+		return c.reconfigUntil
+	}
+	return 0
+}
+
 // StartTransmit begins transmitting n bytes at time start (which must be
 // >= the channel's available time) and returns the completion time.
 func (c *Channel) StartTransmit(start sim.Time, n int) sim.Time {

@@ -376,3 +376,60 @@ func TestSamplerOnSampleHook(t *testing.T) {
 		t.Errorf("OnSample fired at %v, want [0 10us 20us]", at)
 	}
 }
+
+// TestWritePrometheusLabelEscaping pins the two halves of label-value
+// safety: backslashes — which registration admits — must reach the
+// scrape escaped as \\, and quotes/newlines must be rejected at the
+// registration gate, because raw they would corrupt every series that
+// follows in the exposition.
+func TestWritePrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("trace.file_pkts", "path")
+	c, err := v.With(`C:\traces\run1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE trace_file_pkts counter\n" +
+		"trace_file_pkts{path=\"C:\\\\traces\\\\run1\"} 1\n"
+	if buf.String() != want {
+		t.Errorf("WritePrometheus =\n%q\nwant\n%q", buf.String(), want)
+	}
+	for _, bad := range []string{"say \"hi\"", "line\nbreak"} {
+		if _, err := v.With(bad); err == nil {
+			t.Errorf("label value %q accepted; it would corrupt the scrape", bad)
+		}
+	}
+}
+
+// TestWritePrometheusHistogramBounds pins bucket-edge semantics: an
+// observation exactly on an upper bound counts into that bucket (le is
+// inclusive), overflow lands only in +Inf, and the cumulative +Inf
+// count equals the total observation count.
+func TestWritePrometheusHistogramBounds(t *testing.T) {
+	r := NewRegistry()
+	h, err := r.Histogram("lat.us", []float64{1, 10}, Label{Key: "class", Value: "hi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(1)    // exactly on the first bound
+	h.Observe(10)   // exactly on the last finite bound
+	h.Observe(10.5) // past every finite bound
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE lat_us histogram\n" +
+		"lat_us_bucket{class=\"hi\",le=\"1\"} 1\n" +
+		"lat_us_bucket{class=\"hi\",le=\"10\"} 2\n" +
+		"lat_us_bucket{class=\"hi\",le=\"+Inf\"} 3\n" +
+		"lat_us_sum{class=\"hi\"} 21.5\n" +
+		"lat_us_count{class=\"hi\"} 3\n"
+	if buf.String() != want {
+		t.Errorf("WritePrometheus =\n%s\nwant\n%s", buf.String(), want)
+	}
+}

@@ -72,6 +72,8 @@ type observer struct {
 	net       *fabric.Network
 	inj       *fault.Injector
 	prof      *telemetry.EngineProfiler
+	flow      *telemetry.FlowCollector
+	flowChans []string
 	reg       *telemetry.Registry
 	sampler   *telemetry.Sampler
 	heatmap   *telemetry.Heatmap
@@ -82,6 +84,7 @@ type observer struct {
 	snapBuf   bytes.Buffer
 	promBuf   bytes.Buffer
 	profBuf   bytes.Buffer
+	flowBuf   bytes.Buffer
 	done      bool
 }
 
@@ -92,13 +95,16 @@ type observer struct {
 // created is closed and removed from the observer's ownership.
 func newObserver(cfg Config, e *sim.Engine, net *fabric.Network,
 	ctrl *core.Controller, fr *routing.FBFLY, inj *fault.Injector,
-	prof *telemetry.EngineProfiler, ladder link.RateLadder,
-	horizon sim.Time) (o *observer, err error) {
+	prof *telemetry.EngineProfiler, flow *telemetry.FlowCollector,
+	ladder link.RateLadder, horizon sim.Time) (o *observer, err error) {
 	if cfg.MetricsOut == "" && cfg.TraceOut == "" && cfg.HeatmapOut == "" &&
 		cfg.HistOut == "" && cfg.Inspector == nil {
 		return nil, nil
 	}
-	o = &observer{cfg: cfg, e: e, net: net, inj: inj, prof: prof}
+	o = &observer{cfg: cfg, e: e, net: net, inj: inj, prof: prof, flow: flow}
+	if flow != nil && cfg.Inspector != nil {
+		o.flowChans = chanLabels(net)
+	}
 	defer func() {
 		if err != nil && o.traceFile != nil {
 			o.traceFile.Close()
@@ -258,7 +264,16 @@ func (o *observer) publish(now sim.Time) {
 		prof = make([]byte, o.profBuf.Len())
 		copy(prof, o.profBuf.Bytes())
 	}
-	o.cfg.Inspector.publish(prom, snap, prof)
+	var flows []byte
+	if o.flow != nil {
+		// Same quiescent instant; the live document carries no energy
+		// join (per-channel energies exist only at the end of the run).
+		o.flowBuf.Reset()
+		json.NewEncoder(&o.flowBuf).Encode(newFlowTraceReport(o.flow.Snapshot(), o.flowChans, nil, nil))
+		flows = make([]byte, o.flowBuf.Len())
+		copy(flows, o.flowBuf.Bytes())
+	}
+	o.cfg.Inspector.publish(prom, snap, prof, flows)
 }
 
 // snapshot structures for the /snapshot JSON document. Field order is

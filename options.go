@@ -199,6 +199,24 @@ func WithProfileOut(path string) Option {
 	return func(cfg *Config) { cfg.ProfileOut = path }
 }
 
+// WithFlowTrace enables flow tracing: hash-sampled packets carry
+// per-hop latency decompositions into Result.FlowTrace.
+func WithFlowTrace() Option {
+	return func(cfg *Config) { cfg.FlowTrace = true }
+}
+
+// WithFlowSample enables flow tracing at the given sample rate in
+// (0,1] — the expected fraction of packets traced.
+func WithFlowSample(rate float64) Option {
+	return func(cfg *Config) { cfg.FlowTrace = true; cfg.FlowSample = rate }
+}
+
+// WithFlowsOut enables flow tracing and writes the report to path
+// (JSON, or a per-phase CSV when the path ends in ".csv").
+func WithFlowsOut(path string) Option {
+	return func(cfg *Config) { cfg.FlowsOut = path }
+}
+
 // WithPowerTrace samples instantaneous power into Result.PowerTrace at
 // the given interval.
 func WithPowerTrace(interval time.Duration) Option {

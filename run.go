@@ -85,6 +85,15 @@ func advance(ctx context.Context, net *fabric.Network, until, epoch sim.Time) er
 	return nil
 }
 
+// chanLabels returns every channel's wiring label, indexed by channel.
+func chanLabels(net *fabric.Network) []string {
+	labels := make([]string, len(net.Channels()))
+	for i, ch := range net.Channels() {
+		labels[i] = ch.Label()
+	}
+	return labels
+}
+
 // buildInjector constructs and wires the fault injector when cfg or the
 // run plan asks for any kind of fault, or returns nil.
 func buildInjector(cfg Config, plan *runPlan, net *fabric.Network, router routing.Router,
@@ -221,6 +230,25 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
+	// Optional flow tracing: hash-sampled packets carry hop logs, the
+	// collector aggregates them per phase. Sampling is a pure function
+	// of packet ID and seed and all merging is canonical, so every
+	// FlowTrace byte — like every other Result field — is identical
+	// across shard counts; with tracing off the packet path keeps its
+	// zero-allocation fast path (one nil check).
+	var flow *telemetry.FlowCollector
+	if cfg.FlowTrace {
+		flow = telemetry.NewFlowCollector(net.NumShards(), len(net.Channels()),
+			cfg.FlowSample, cfg.Seed)
+		names := make([]string, len(plan.phases))
+		ends := make([]sim.Time, len(plan.phases))
+		for i := range plan.phases {
+			names[i], ends[i] = plan.phases[i].name, plan.phases[i].end
+		}
+		flow.SetClasses(names, ends)
+		net.SetFlowCollector(flow)
+	}
+
 	// Latency is recorded only for packets injected after warmup. The
 	// delivery callbacks run on the shard owning the destination host,
 	// so each shard accumulates into its own Latency; the integer-based
@@ -314,9 +342,25 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	// Optional telemetry: the controller's epoch tick is already
 	// scheduled, so on coincident timestamps the sampler observes
 	// post-retune link state (the engine breaks ties FIFO).
-	obs, err := newObserver(cfg, e, net, ctrl, fbflyRouter, inj, eprof, fcfg.Ladder, horizon)
+	obs, err := newObserver(cfg, e, net, ctrl, fbflyRouter, inj, eprof, flow, fcfg.Ladder, horizon)
 	if err != nil {
 		return Result{}, err
+	}
+
+	// fail funnels early exits after the observer exists: flush the
+	// files the observer opened and best-effort write the profile and
+	// flow-trace outputs, so an interrupted run (^C on epsim) still
+	// leaves its diagnostics behind.
+	fail := func(err error) (Result, error) {
+		errs := []error{err, obs.finish(e.Now())}
+		if eprof != nil && cfg.ProfileOut != "" {
+			errs = append(errs, writeProfileOut(cfg.ProfileOut, newEngineProfile(eprof.Snapshot())))
+		}
+		if flow != nil && cfg.FlowsOut != "" {
+			errs = append(errs, writeFlowsOut(cfg.FlowsOut,
+				newFlowTraceReport(flow.Snapshot(), chanLabels(net), nil, nil)))
+		}
+		return Result{}, errors.Join(errs...)
 	}
 
 	// Traffic. Phase 0's sources start inline here — the engine is at
@@ -330,10 +374,10 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 
 	if inj != nil {
 		if err := scheduleFaults(cfg, e, inj, warmup, horizon); err != nil {
-			return Result{}, errors.Join(err, obs.finish(e.Now()))
+			return fail(err)
 		}
 		if err := scheduleChaos(cfg, plan, inj, warmup); err != nil {
-			return Result{}, errors.Join(err, obs.finish(e.Now()))
+			return fail(err)
 		}
 	}
 
@@ -386,7 +430,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	// state.
 	epoch := simTime(cfg.Epoch)
 	if err := advance(ctx, net, warmup, epoch); err != nil {
-		return Result{}, errors.Join(err, obs.finish(e.Now()))
+		return fail(err)
 	}
 	for _, ch := range net.Channels() {
 		ch.L.ResetAccounting(e.Now())
@@ -400,7 +444,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		acct.snaps[0] = acct.snapshot()
 	}
 	if err := advance(ctx, net, horizon, epoch); err != nil {
-		return Result{}, errors.Join(err, obs.finish(e.Now()))
+		return fail(err)
 	}
 	if acct != nil {
 		acct.snaps[len(plan.phases)] = acct.snapshot()
@@ -446,18 +490,27 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 
 	// Optional per-channel attribution, charged under the same
 	// measured profile and part model as the aggregate estimate so the
-	// per-channel energies sum exactly to Result.EnergyJoules.
+	// per-channel energies sum exactly to Result.EnergyJoules. Flow
+	// tracing forces the computation (its energy join charges traced
+	// bytes each channel's energy) even when Result.Attribution itself
+	// stays off.
 	var attr *power.Attribution
-	if cfg.Attribution {
+	if cfg.Attribution || flow != nil {
 		attr = power.NewAttribution(fullWatts, len(net.Channels()),
 			simTime(cfg.Duration), measured)
+	}
+	var chanEnergy []float64
+	var chanTotBytes []int64
+	if flow != nil {
+		chanEnergy = make([]float64, len(net.Channels()))
+		chanTotBytes = make([]int64, len(net.Channels()))
 	}
 
 	var pm, pi, util float64
 	classAcc := map[string]float64{}
 	classCnt := map[string]float64{}
 	now := e.Now()
-	for _, ch := range net.Channels() {
+	for ci, ch := range net.Channels() {
 		occ := ch.L.Occupancy(now)
 		share.Add(occ)
 		pm += power.OccupancyPower(occ, measured)
@@ -480,6 +533,13 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 
 		if attr != nil {
 			ce := attr.Add(ch.Label(), class.String(), occ, chUtil)
+			if chanEnergy != nil {
+				chanEnergy[ci] = ce.EnergyJ
+				chanTotBytes[ci] = ch.L.TotalBytes()
+			}
+			if !cfg.Attribution {
+				continue
+			}
 			la := LinkAttribution{
 				Link:         ce.Name,
 				Class:        ce.Class,
@@ -564,6 +624,20 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	res.PowerTrace = trace
 	if acct != nil {
 		res.PhaseScores = acct.scores(warmup, t.NumHosts(), fcfg.Ladder)
+	}
+	if flow != nil {
+		res.FlowTrace = newFlowTraceReport(flow.Snapshot(), chanLabels(net),
+			chanEnergy, chanTotBytes)
+		// The collector's classes are the plan's phases, so a scorecard
+		// row and its decomposition line up by index.
+		for i := range res.PhaseScores {
+			res.FlowTrace.Classes[i].applyToScore(&res.PhaseScores[i])
+		}
+		if cfg.FlowsOut != "" {
+			if err := writeFlowsOut(cfg.FlowsOut, res.FlowTrace); err != nil {
+				return Result{}, err
+			}
+		}
 	}
 	if eprof != nil {
 		res.Profile = newEngineProfile(eprof.Snapshot())

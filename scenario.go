@@ -413,19 +413,31 @@ func resolveGroups(inj *fault.Injector, phase string, specs []ChaosGroup) ([]fau
 }
 
 // ScorecardCSV renders the per-phase scorecard as CSV — one row per
-// phase with the resilience (delivery, faults) and energy (utilization)
-// columns. Empty for single-phase runs, which have no scorecard.
+// phase with the resilience (delivery, faults), energy (utilization),
+// and flow-trace decomposition columns (zero when flow tracing is
+// off). Empty for single-phase runs, which have no scorecard. New
+// columns append on the right only — existing column positions are
+// stable, which downstream golden files pin.
 func (r *Result) ScorecardCSV() []byte {
 	var b bytes.Buffer
-	b.WriteString("phase,start_us,end_us,injected,delivered,dropped,delivered_frac,mean_latency_us,p99_latency_us,avg_util,reconfigs,fault_events\n")
+	b.WriteString("phase,start_us,end_us,injected,delivered,dropped,delivered_frac," +
+		"mean_latency_us,p99_latency_us,avg_util,reconfigs,fault_events," +
+		"traced,traced_dropped,queue_us,credit_us,retune_us,busy_us," +
+		"cutthrough_us,serialize_us,wire_us,route_us,energy_pj_per_bit\n")
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }
 	for _, ps := range r.PhaseScores {
-		fmt.Fprintf(&b, "%s,%.3f,%.3f,%d,%d,%d,%.5f,%.3f,%.3f,%.4f,%d,%d\n",
+		fmt.Fprintf(&b, "%s,%.3f,%.3f,%d,%d,%d,%.5f,%.3f,%.3f,%.4f,%d,%d,"+
+			"%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.4f\n",
 			ps.Phase,
-			float64(ps.Start.Nanoseconds())/1000, float64(ps.End.Nanoseconds())/1000,
+			us(ps.Start), us(ps.End),
 			ps.InjectedPackets, ps.DeliveredPackets, ps.DroppedPackets,
 			ps.DeliveredFraction,
-			float64(ps.MeanLatency.Nanoseconds())/1000, float64(ps.P99Latency.Nanoseconds())/1000,
-			ps.AvgUtil, ps.Reconfigurations, ps.FaultEvents)
+			us(ps.MeanLatency), us(ps.P99Latency),
+			ps.AvgUtil, ps.Reconfigurations, ps.FaultEvents,
+			ps.TracedPackets, ps.TracedDropped,
+			us(ps.QueueWait), us(ps.CreditStall), us(ps.RetuneStall), us(ps.BusyWait),
+			us(ps.CutThroughWait), us(ps.SerializeTime), us(ps.WireTime), us(ps.RouteTime),
+			ps.EnergyPJPerBit)
 	}
 	return b.Bytes()
 }

@@ -385,6 +385,9 @@ func TestScenarioScorecardGoldens(t *testing.T) {
 			cfg.Warmup = 50 * time.Microsecond
 			cfg.Seed = 1
 			cfg.Shards = 1
+			// Flow tracing populates the decomposition columns, so the
+			// goldens also pin the tracer's determinism.
+			cfg.FlowTrace = true
 			res, err := Run(cfg)
 			if err != nil {
 				t.Fatal(err)
