@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-compare fmt fmt-check experiments smoke-faults smoke-scenarios smoke-flows observe-demo profile-demo
+.PHONY: all build test race vet bench bench-json bench-compare fmt fmt-check experiments smoke-faults smoke-scenarios smoke-flows smoke-scale observe-demo profile-demo
 
 all: build test
 
@@ -81,6 +81,16 @@ smoke-flows:
 	cmp /tmp/epnet-flows/serial.json /tmp/epnet-flows/sharded.json
 	$(GO) test -race -run 'FlowTrace|FlightRecorder' ./internal/telemetry/ ./internal/fabric/ .
 	@ls -l /tmp/epnet-flows
+
+# Scale smoke: build an 8-ary 5-flat flattened butterfly (32,768 hosts,
+# 4096 switches, ~180k channels) and push a short steady uniform load
+# through it, all inside a hard wall-clock bound. Guards the flyweight
+# construction path: if per-entity allocation or an O(switches²) table
+# creeps back in, the build alone blows the budget. ~3s on a dev box;
+# the bound leaves headroom for slow CI runners.
+smoke-scale:
+	timeout 60 $(GO) run ./cmd/epsim -topology fbfly -k 8 -n 5 -c 8 \
+		-workload uniform -load 0.05 -warmup 20us -duration 100us -shards 0
 
 # Short run with the full observability stack on: labeled metrics CSV,
 # utilization heatmap + histogram, per-link attribution, and one live

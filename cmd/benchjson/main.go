@@ -53,6 +53,8 @@ type Result struct {
 	WindowEff   float64 `json:"window_eff_pct,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	BPerHost    float64 `json:"b_per_host,omitempty"`
+	NsPerHost   float64 `json:"ns_per_host,omitempty"`
 }
 
 // parseLine extracts a Result from one `go test -bench` output line, or
@@ -88,6 +90,10 @@ func parseLine(line string) (Result, bool) {
 			res.BytesPerOp = int64(v)
 		case "allocs/op":
 			res.AllocsPerOp = int64(v)
+		case "B/host":
+			res.BPerHost = v
+		case "ns/host":
+			res.NsPerHost = v
 		}
 	}
 	return res, true
@@ -281,6 +287,38 @@ func engineProfile(w io.Writer, current []Result, base map[string]Result) {
 	}
 }
 
+// buildMemory prints the construction-cost section for every benchmark
+// that reported per-host metrics (BenchmarkBuildNetwork): bytes of
+// allocation and build time per host, with the baseline alongside.
+// Bytes/host growth beyond 25% is flagged — construction memory is the
+// thing the flyweight fabric exists to bound, and a silent creep back
+// toward per-entity boxing would undo it. Advisory, like the rest.
+func buildMemory(w io.Writer, current []Result, base map[string]Result) {
+	const growth = 0.25
+	header := false
+	for _, cur := range current {
+		if cur.BPerHost == 0 && cur.NsPerHost == 0 {
+			continue
+		}
+		if !header {
+			fmt.Fprintf(w, "\nbuild memory (construction cost per host):\n")
+			fmt.Fprintf(w, "%-52s %12s %12s %12s\n", "benchmark", "base B/host", "B/host", "ns/host")
+			header = true
+		}
+		old, ok := base[cur.Name]
+		flag := ""
+		baseCol := "(new)"
+		if ok && old.BPerHost > 0 {
+			baseCol = fmt.Sprintf("%.0f", old.BPerHost)
+			if cur.BPerHost/old.BPerHost-1 > growth {
+				flag = fmt.Sprintf("  MEMORY +%.0f%%", (cur.BPerHost/old.BPerHost-1)*100)
+			}
+		}
+		fmt.Fprintf(w, "%-52s %12s %12.0f %12.0f%s\n",
+			cur.Name, baseCol, cur.BPerHost, cur.NsPerHost, flag)
+	}
+}
+
 func main() {
 	baseline := flag.String("compare", "", "baseline JSON Lines file: print a ns/op delta report instead of JSON")
 	threshold := flag.Float64("threshold", 0.10, "regression threshold as a fraction of baseline ns/op")
@@ -300,6 +338,7 @@ func main() {
 		compare(os.Stdout, current, base, *threshold)
 		shardScaling(os.Stdout, current)
 		engineProfile(os.Stdout, current, base)
+		buildMemory(os.Stdout, current, base)
 		return
 	}
 	enc := json.NewEncoder(os.Stdout)

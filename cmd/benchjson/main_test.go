@@ -46,6 +46,49 @@ func TestParseLine(t *testing.T) {
 	if !ok || res.BarrierPct != 33.1 || res.WindowEff != 88.7 || res.Cpus != 4 {
 		t.Errorf("profile metrics: ok=%v res=%+v", ok, res)
 	}
+
+	// Construction-cost metrics from BenchmarkBuildNetwork.
+	res, ok = parseLine("BenchmarkBuildNetwork/fbfly-32k 3 72672102 ns/op 2345 B/host 2218 ns/host")
+	if !ok || res.BPerHost != 2345 || res.NsPerHost != 2218 {
+		t.Errorf("build metrics: ok=%v res=%+v", ok, res)
+	}
+}
+
+// TestBuildMemory exercises the construction-cost section: growth
+// beyond 25% bytes/host flagged, drift within it not, new benchmarks
+// reported "(new)", and no section when nothing reported the metrics.
+func TestBuildMemory(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkBuildNetwork/fbfly-3k":  {Name: "BenchmarkBuildNetwork/fbfly-3k", BPerHost: 1700, NsPerHost: 1200},
+		"BenchmarkBuildNetwork/fbfly-32k": {Name: "BenchmarkBuildNetwork/fbfly-32k", BPerHost: 2300, NsPerHost: 2200},
+	}
+	current := []Result{
+		{Name: "BenchmarkBuildNetwork/fbfly-3k", BPerHost: 1800, NsPerHost: 1300},
+		{Name: "BenchmarkBuildNetwork/fbfly-32k", BPerHost: 4000, NsPerHost: 2300},
+		{Name: "BenchmarkBuildNetwork/clos3-100k", BPerHost: 2500, NsPerHost: 3600},
+		{Name: "BenchmarkNetworkThroughput-4", NsPerOp: 100}, // no build metrics
+	}
+	var sb strings.Builder
+	buildMemory(&sb, current, base)
+	out := sb.String()
+	if !strings.Contains(out, "build memory") {
+		t.Fatalf("missing build-memory section:\n%s", out)
+	}
+	if got := strings.Count(out, "MEMORY"); got != 1 {
+		t.Errorf("want exactly one MEMORY flag (fbfly-32k grew 74%%), got %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "(new)") {
+		t.Errorf("benchmark absent from baseline should read (new):\n%s", out)
+	}
+	if strings.Contains(out, "BenchmarkNetworkThroughput-4") {
+		t.Errorf("benchmark without build metrics listed:\n%s", out)
+	}
+
+	sb.Reset()
+	buildMemory(&sb, []Result{{Name: "BenchmarkX", NsPerOp: 5}}, nil)
+	if sb.Len() != 0 {
+		t.Errorf("section printed with no build metrics:\n%s", sb.String())
+	}
 }
 
 // TestCompare exercises the baseline diff report: stable results, a

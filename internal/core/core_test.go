@@ -146,7 +146,7 @@ func TestControllerIdleConvergence(t *testing.T) {
 	e.RunUntil(6 * c.Epoch)
 	for _, ch := range n.Channels() {
 		if got := ch.L.Rate(); got != link.Rate2_5G {
-			t.Fatalf("channel %s at %v after idle epochs, want 2.5G", ch.L.Name, got)
+			t.Fatalf("channel %s at %v after idle epochs, want 2.5G", ch.Label(), got)
 		}
 	}
 	if c.Reconfigurations == 0 {
@@ -305,7 +305,7 @@ func TestDynTopoDegradeAndRestore(t *testing.T) {
 	}
 	for _, ch := range n.InterSwitchChannels() {
 		if ch.L.State(e.Now()) == link.Off {
-			t.Fatalf("channel %s still off after restore", ch.L.Name)
+			t.Fatalf("channel %s still off after restore", ch.Label())
 		}
 	}
 	if d.Transitions < 2 {

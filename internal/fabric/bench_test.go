@@ -193,3 +193,42 @@ func BenchmarkChoosePort(b *testing.B) {
 		sw.choosePort(pkt, 0)
 	}
 }
+
+// BenchmarkBuildNetwork measures fabric instantiation — topology is
+// pre-built, so the timed region is entity storage, channel wiring and
+// router construction — at the paper's simulation scale (15-ary 3-flat,
+// 3,375 hosts), the paper's Table 1 scale (8-ary 5-flat, 32,768 hosts)
+// and a three-tier Clos above 10⁵ hosts. B/host (heap bytes allocated
+// per host during construction) and ns/host feed benchjson's
+// build-memory section, tracking the entity memory model over time.
+func BenchmarkBuildNetwork(b *testing.B) {
+	bench := func(b *testing.B, t topo.Topology, mkRouter func() routing.Router) {
+		hosts := float64(t.NumHosts())
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n, err := New(sim.New(), t, mkRouter(), DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			runtime.KeepAlive(n)
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&m1)
+		b.ReportMetric(float64(m1.TotalAlloc-m0.TotalAlloc)/float64(b.N)/hosts, "B/host")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/hosts, "ns/host")
+	}
+	b.Run("fbfly-3k", func(b *testing.B) {
+		f := topo.MustFBFLY(15, 3, 15)
+		bench(b, f, func() routing.Router { return routing.NewFBFLY(f) })
+	})
+	b.Run("fbfly-32k", func(b *testing.B) {
+		f := topo.MustFBFLY(8, 5, 8)
+		bench(b, f, func() routing.Router { return routing.NewFBFLY(f) })
+	})
+	b.Run("clos3-100k", func(b *testing.B) {
+		c := topo.MustClos3(74)
+		bench(b, c, func() routing.Router { return routing.NewClos3(c) })
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"epnet/internal/link"
+	"epnet/internal/parallel"
 	"epnet/internal/routing"
 	"epnet/internal/sim"
 	"epnet/internal/telemetry"
@@ -97,6 +98,13 @@ func (c *Config) validate() error {
 
 // Chan is one directed channel of the fabric: a link.Channel plus the
 // sender-side credit pool mirroring the downstream input buffer.
+//
+// Chan is a flyweight: every Chan of a network is a value entry in one
+// dense backing array (Network.chanArr), as is the link.Channel it
+// points at, so a fabric's channel population costs two allocations
+// total. The struct holds only hot state — what the per-packet path
+// reads; cold state (fault epochs, drop counters) lives in the parallel
+// chanCold array, indexed by idx, so it never occupies hot cache lines.
 type Chan struct {
 	L        *link.Channel
 	Src, Dst topo.Endpoint
@@ -114,20 +122,28 @@ type Chan struct {
 	srcLane, dstLane *sim.Lane
 	sameShard        bool
 
-	// Fault state. failed marks a hard failure (distinct from a planned
+	// Per-channel attribution. mTx is a pre-resolved labeled counter
+	// handle (nil when telemetry is off — Inc on nil is a branch and a
+	// return), so per-link packet counting costs the hot path nothing
+	// extra: no map lookups, no allocations.
+	mTx *telemetry.Counter
+}
+
+// chanCold is the cold half of a channel's state, split out of Chan so
+// the packet path only pulls credit/lane/link state into cache. It is
+// touched on fault injection, drop accounting and reporting — never on
+// the fault-free hot path (deliverAcross reads failEpoch only when
+// faults are enabled).
+type chanCold struct {
+	// drops counts packets lost on this channel to injected faults.
+	drops int64
+
+	// failed marks a hard failure (distinct from a planned
 	// dynamic-topology PowerOff); failEpoch increments on every failure
 	// so already-scheduled arrival events can recognize packets that
 	// were in flight when the channel died (see Packet.chEpoch).
 	failed    bool
 	failEpoch uint32
-
-	// Per-channel attribution. mTx is a pre-resolved labeled counter
-	// handle (nil when telemetry is off — Inc on nil is a branch and a
-	// return), so per-link packet counting costs the hot path nothing
-	// extra: no map lookups, no allocations. drops counts packets lost
-	// on this channel to injected faults.
-	mTx   *telemetry.Counter
-	drops int64
 }
 
 // takeCredits consumes n credits if available.
@@ -152,7 +168,7 @@ func (c *Chan) returnCredits(n int, now sim.Time) {
 func (c *Chan) Credits() int64 { return c.credits }
 
 // Failed reports whether the channel is hard-failed (fault injection).
-func (c *Chan) Failed() bool { return c.failed }
+func (c *Chan) Failed() bool { return c.net.chanCold[c.idx].failed }
 
 // Index returns the channel's position in Network.Channels(). It is
 // stable for the network's lifetime and doubles as the channel's trace
@@ -160,7 +176,7 @@ func (c *Chan) Failed() bool { return c.failed }
 func (c *Chan) Index() int { return c.idx }
 
 // Drops returns packets lost on this channel to injected faults.
-func (c *Chan) Drops() int64 { return c.drops }
+func (c *Chan) Drops() int64 { return c.net.chanCold[c.idx].drops }
 
 // Network is a simulated network instance bound to an event engine.
 type Network struct {
@@ -174,6 +190,19 @@ type Network struct {
 
 	chans []*Chan    // every directed channel
 	pairs [][2]*Chan // both directions of each physical link
+
+	// Dense entity storage (the flyweight layer). Every *Switch, *Host,
+	// *Chan and *link.Channel handed out by this network points into
+	// one of these backing arrays — one allocation per entity kind
+	// instead of one per entity. The arrays are sized exactly at
+	// construction and never reallocated, so the pointer handles above
+	// (and everything the packet hot path holds) stay valid for the
+	// network's lifetime.
+	swArr    []Switch
+	hostArr  []Host
+	chanArr  []Chan
+	linkArr  []link.Channel
+	chanCold []chanCold // cold per-channel state, indexed by Chan.idx
 
 	// Shard runtimes (one for a serial network, holding the hot-path
 	// accounting either way), the switch->shard assignment, and the
@@ -212,10 +241,16 @@ type Network struct {
 	OnMessageDone func(msgID int64, src, dst int, inject, done sim.Time)
 
 	// Pre-bound ArgEvent handlers for the per-packet events, created
-	// once in New so scheduling them never allocates a closure.
-	fnDeliver sim.ArgEvent
-	fnArrive  sim.ArgEvent
-	fnCredit  sim.ArgEvent
+	// once in New so scheduling them never allocates a closure. The
+	// wake handlers (arg = the switch or host, n = the port) replace
+	// the per-port closures each switch used to carry: same lane, same
+	// one key draw per scheduling, so event order is untouched, but the
+	// fabric holds five closures instead of radix·switches.
+	fnDeliver  sim.ArgEvent
+	fnArrive   sim.ArgEvent
+	fnCredit   sim.ArgEvent
+	fnSwWake   sim.ArgEvent
+	fnHostWake sim.ArgEvent
 
 	// Injection-side accounting. Injection happens on the control plane
 	// only (single-threaded even when sharded), so these stay global;
@@ -234,11 +269,26 @@ type Network struct {
 	deadSwitch    []bool
 }
 
+// buildWorkers overrides the construction worker count (0 = one per
+// CPU). Construction output is identical at any worker count — every
+// entity and channel index is precomputed, so workers write disjoint
+// slots of the backing arrays; tests pin this to 1 to prove the
+// parallel build matches the serial one byte for byte.
+var buildWorkers = 0
+
 // New builds a network over topology t with router r. With
 // cfg.Shards > 1, e becomes the control engine: it carries everything
 // scheduled through Network.E (workloads, controllers, fault injection,
 // sampling) while per-shard engines carry the data plane; drive the run
 // with Network.RunUntil (or Sharding) rather than e.Run.
+//
+// Construction streams directly off the topology's port map
+// (topo.VisitSwitchLinks) — no materialized []topo.Link — and runs the
+// per-switch counting and wiring loops in parallel. Channel indices are
+// the same closed-form layout the serial build produced (host up/down
+// pairs at 2h/2h+1, then each switch's owned inter-switch links at its
+// prefix-sum offset), so event lane/seq ordering, channel labels, and
+// every CSV byte downstream are independent of the worker count.
 func New(e *sim.Engine, t topo.Topology, r routing.Router, cfg Config) (*Network, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -255,74 +305,150 @@ func New(e *sim.Engine, t topo.Topology, r routing.Router, cfg Config) (*Network
 	n.fnDeliver = n.deliverEvent
 	n.fnArrive = n.arriveEvent
 	n.fnCredit = n.creditEvent
+	n.fnSwWake = func(now sim.Time, arg any, port int64) {
+		s := arg.(*Switch)
+		s.wakePending[port] = false
+		s.pumpOut(int(port), now)
+	}
+	n.fnHostWake = func(now sim.Time, arg any, _ int64) {
+		h := arg.(*Host)
+		h.wakePending = false
+		h.pump(now)
+	}
+
+	numSw, numHosts, radix := t.NumSwitches(), t.NumHosts(), t.Radix()
+	workers := buildWorkers
+
 	// Lane IDs are allocated identically regardless of shard count:
 	// hosts first, then switches, so event keys — and with them the
 	// canonical execution order — do not depend on the partition.
-	n.Switches = make([]*Switch, t.NumSwitches())
-	for sw := range n.Switches {
-		n.Switches[sw] = newSwitch(n, sw, t.Radix(), uint64(1+t.NumHosts()+sw))
-	}
-	n.Hosts = make([]*Host, t.NumHosts())
-	for h := range n.Hosts {
-		sw, _ := t.HostAttachment(h)
-		n.Hosts[h] = newHost(n, h, uint64(1+h), n.switchShard(sw))
-	}
-
-	// Wire channels: host attachments first, then inter-switch links.
-	for h := 0; h < t.NumHosts(); h++ {
-		sw, port := t.HostAttachment(h)
-		up := n.newChan(
-			topo.Endpoint{Kind: topo.KindHost, ID: h},
-			topo.Endpoint{Kind: topo.KindSwitch, ID: sw, Port: port},
-			int64(cfg.InputBufBytes))
-		down := n.newChan(
-			topo.Endpoint{Kind: topo.KindSwitch, ID: sw, Port: port},
-			topo.Endpoint{Kind: topo.KindHost, ID: h},
-			math.MaxInt64/4) // hosts sink at line rate; effectively unlimited
-		n.Hosts[h].out = up
-		n.Switches[sw].out[port] = down
-		n.pairs = append(n.pairs, [2]*Chan{up, down})
-	}
-	for sw := 0; sw < t.NumSwitches(); sw++ {
-		for p := 0; p < t.Radix(); p++ {
-			peer, ok := t.Peer(sw, p)
-			if !ok || peer.Kind != topo.KindSwitch {
-				continue
-			}
-			if peer.ID < sw || (peer.ID == sw && peer.Port < p) {
-				continue // wire each link once
-			}
-			fwd := n.newChan(
-				topo.Endpoint{Kind: topo.KindSwitch, ID: sw, Port: p},
-				topo.Endpoint{Kind: topo.KindSwitch, ID: peer.ID, Port: peer.Port},
-				int64(cfg.InputBufBytes))
-			rev := n.newChan(
-				topo.Endpoint{Kind: topo.KindSwitch, ID: peer.ID, Port: peer.Port},
-				topo.Endpoint{Kind: topo.KindSwitch, ID: sw, Port: p},
-				int64(cfg.InputBufBytes))
-			n.Switches[sw].out[p] = fwd
-			n.Switches[peer.ID].out[peer.Port] = rev
-			n.pairs = append(n.pairs, [2]*Chan{fwd, rev})
+	//
+	// Per-port switch state is struct-of-arrays: one dense backing array
+	// per field, carved into per-switch windows with full slice
+	// expressions so a switch cannot grow into its neighbor's range.
+	n.swArr = make([]Switch, numSw)
+	n.Switches = make([]*Switch, numSw)
+	outAll := make([]*Chan, numSw*radix)
+	queueAll := make([]pktQueue, numSw*radix)
+	queuedBytesAll := make([]int64, numSw*radix)
+	closingAll := make([]bool, numSw*radix)
+	wakeAtAll := make([]sim.Time, numSw*radix)
+	wakePendingAll := make([]bool, numSw*radix)
+	candAll := make([]int, numSw*radix)
+	parallel.ForEach(numSw, workers, func(sw int) error {
+		rt := n.switchShard(sw)
+		lo, hi := sw*radix, (sw+1)*radix
+		s := &n.swArr[sw]
+		*s = Switch{
+			net:         n,
+			id:          sw,
+			rt:          rt,
+			eng:         rt.eng,
+			lane:        sim.NewLane(uint64(1 + numHosts + sw)),
+			rng:         newRNG(n.Cfg.Seed, sw),
+			out:         outAll[lo:hi:hi],
+			queues:      queueAll[lo:hi:hi],
+			queuedBytes: queuedBytesAll[lo:hi:hi],
+			closing:     closingAll[lo:hi:hi],
+			wakeAt:      wakeAtAll[lo:hi:hi],
+			wakePending: wakePendingAll[lo:hi:hi],
+			candBuf:     candAll[lo:lo:hi],
 		}
+		n.Switches[sw] = s
+		return nil
+	})
+	n.hostArr = make([]Host, numHosts)
+	n.Hosts = make([]*Host, numHosts)
+	parallel.ForEach(numHosts, workers, func(h int) error {
+		sw, _ := t.HostAttachment(h)
+		rt := n.switchShard(sw)
+		hh := &n.hostArr[h]
+		*hh = Host{net: n, id: h, rt: rt, eng: rt.eng, lane: sim.NewLane(uint64(1 + h))}
+		n.Hosts[h] = hh
+		return nil
+	})
+
+	// Channel layout. Host channels come first — up at 2h, down at 2h+1
+	// — then each switch's owned inter-switch links (two directed
+	// channels per link, forward then reverse, in port order) at an
+	// offset fixed by a prefix sum over per-switch owned-link counts.
+	// This is exactly the sequence the serial append-loop produced.
+	ownedLinks := make([]int, numSw)
+	parallel.ForEach(numSw, workers, func(sw int) error {
+		cnt := 0
+		topo.VisitSwitchLinks(t, sw, func(int, topo.Endpoint, topo.LinkClass) bool {
+			cnt++
+			return true
+		})
+		ownedLinks[sw] = cnt
+		return nil
+	})
+	linkBase := make([]int, numSw+1) // owned links before switch sw
+	for sw := 0; sw < numSw; sw++ {
+		linkBase[sw+1] = linkBase[sw] + ownedLinks[sw]
 	}
+	interLinks := linkBase[numSw]
+
+	totalChans := 2*numHosts + 2*interLinks
+	n.chanArr = make([]Chan, totalChans)
+	n.linkArr = make([]link.Channel, totalChans)
+	n.chanCold = make([]chanCold, totalChans)
+	n.chans = make([]*Chan, totalChans)
+	n.pairs = make([][2]*Chan, numHosts+interLinks)
+
+	parallel.ForEach(numHosts, workers, func(h int) error {
+		sw, port := t.HostAttachment(h)
+		hostEP := topo.Endpoint{Kind: topo.KindHost, ID: h}
+		swEP := topo.Endpoint{Kind: topo.KindSwitch, ID: sw, Port: port}
+		up := n.initChan(2*h, hostEP, swEP, int64(cfg.InputBufBytes))
+		// Hosts sink at line rate; effectively unlimited credits.
+		down := n.initChan(2*h+1, swEP, hostEP, math.MaxInt64/4)
+		n.hostArr[h].out = up
+		n.swArr[sw].out[port] = down
+		n.pairs[h] = [2]*Chan{up, down}
+		return nil
+	})
+	parallel.ForEach(numSw, workers, func(sw int) error {
+		idx := 2*numHosts + 2*linkBase[sw]
+		pairIdx := numHosts + linkBase[sw]
+		topo.VisitSwitchLinks(t, sw, func(p int, peer topo.Endpoint, _ topo.LinkClass) bool {
+			a := topo.Endpoint{Kind: topo.KindSwitch, ID: sw, Port: p}
+			fwd := n.initChan(idx, a, peer, int64(cfg.InputBufBytes))
+			rev := n.initChan(idx+1, peer, a, int64(cfg.InputBufBytes))
+			// The peer-side write lands in another switch's out window;
+			// it is this link's unique slot, so workers never collide.
+			n.swArr[sw].out[p] = fwd
+			n.swArr[peer.ID].out[peer.Port] = rev
+			n.pairs[pairIdx] = [2]*Chan{fwd, rev}
+			idx += 2
+			pairIdx++
+			return true
+		})
+		return nil
+	})
 	n.finishShards()
 	return n, nil
 }
 
-func (n *Network) newChan(src, dst topo.Endpoint, credits int64) *Chan {
-	name := fmt.Sprintf("%v->%v", src, dst)
-	c := &Chan{
-		L:       link.MustChannel(name, n.Cfg.Ladder),
+// initChan initializes channel slot idx of the backing arrays in place
+// and returns its handle. Safe to call from concurrent construction
+// workers as long as each idx is written exactly once.
+func (n *Network) initChan(idx int, src, dst topo.Endpoint, credits int64) *Chan {
+	l := &n.linkArr[idx]
+	l.Init(n.Cfg.Ladder)
+	c := &n.chanArr[idx]
+	*c = Chan{
+		L:       l,
 		Src:     src,
 		Dst:     dst,
 		credits: credits,
 		net:     n,
-		idx:     len(n.chans),
+		idx:     idx,
 	}
 	c.srcRT, c.srcLane = n.endpointRT(src)
 	c.dstRT, c.dstLane = n.endpointRT(dst)
 	c.sameShard = c.srcRT == c.dstRT
-	n.chans = append(n.chans, c)
+	n.chans[idx] = c
 	return c
 }
 
@@ -461,7 +587,12 @@ func (n *Network) deliverAcross(c *Chan, pkt *Packet, start, done sim.Time) {
 	tailIn := done + n.Cfg.WireDelay
 	pkt.HeadIn, pkt.TailIn = headIn, tailIn
 	pkt.ch = c
-	pkt.chEpoch = c.failEpoch
+	// The fault epoch lives in the cold array; without faults enabled it
+	// is identically zero, so the fault-free path skips the read.
+	pkt.chEpoch = 0
+	if n.faultsEnabled {
+		pkt.chEpoch = n.chanCold[c.idx].failEpoch
+	}
 	c.mTx.Inc()
 	if pkt.trace != nil {
 		// Close the hop: under cut-through only the final (host-bound)
@@ -487,9 +618,11 @@ func (n *Network) deliverAcross(c *Chan, pkt *Packet, start, done sim.Time) {
 // deliverEvent sinks a packet at its destination host.
 func (n *Network) deliverEvent(now sim.Time, arg any, _ int64) {
 	p := arg.(*Packet)
-	if n.faultsEnabled && (p.ch.failed || p.ch.failEpoch != p.chEpoch) {
-		n.dropPacket(p.ch.dstRT, p, now, "in-flight on failed channel")
-		return
+	if n.faultsEnabled {
+		if cold := &n.chanCold[p.ch.idx]; cold.failed || cold.failEpoch != p.chEpoch {
+			n.dropPacket(p.ch.dstRT, p, now, "in-flight on failed channel")
+			return
+		}
 	}
 	n.Hosts[p.Dst].deliver(p, now)
 }
@@ -512,9 +645,11 @@ func (n *Network) arriveEvent(now sim.Time, arg any, _ int64) {
 	} else {
 		ch.dstRT.stageTo(ch.srcRT, now+n.Cfg.CreditDelay, ch.dstLane.NextKey(), n.fnCredit, ch, int64(p.Size))
 	}
-	if n.faultsEnabled && (ch.failed || ch.failEpoch != p.chEpoch) {
-		n.dropPacket(ch.dstRT, p, now, "in-flight on failed channel")
-		return
+	if n.faultsEnabled {
+		if cold := &n.chanCold[ch.idx]; cold.failed || cold.failEpoch != p.chEpoch {
+			n.dropPacket(ch.dstRT, p, now, "in-flight on failed channel")
+			return
+		}
 	}
 	n.Switches[ch.Dst.ID].arrive(p, now)
 }
@@ -546,11 +681,12 @@ func (n *Network) FailChan(c *Chan, now sim.Time) {
 	if !n.faultsEnabled {
 		panic("fabric: FailChan without EnableFaults")
 	}
-	if c.failed {
+	cold := &n.chanCold[c.idx]
+	if cold.failed {
 		return
 	}
-	c.failed = true
-	c.failEpoch++
+	cold.failed = true
+	cold.failEpoch++
 	c.L.PowerOff(now)
 	if n.flow != nil {
 		// Fault injection is a control event (all shards quiescent), so
@@ -563,10 +699,11 @@ func (n *Network) FailChan(c *Chan, now sim.Time) {
 // reactivation (CDR re-lock / lane retraining) before it can carry
 // data. The sender is kicked so queued traffic resumes.
 func (n *Network) RepairChan(c *Chan, now sim.Time, r link.Rate, reactivation sim.Time) {
-	if !c.failed {
+	cold := &n.chanCold[c.idx]
+	if !cold.failed {
 		return
 	}
-	c.failed = false
+	cold.failed = false
 	c.L.PowerOn(now, r, reactivation)
 	c.L.ResetEpoch(now)
 	n.KickSender(c, now)
@@ -601,7 +738,7 @@ func (n *Network) dropPacket(rt *shardRT, p *Packet, now sim.Time, why string) {
 	rt.droppedPkts++
 	rt.droppedBytes += int64(p.Size)
 	if p.ch != nil {
-		p.ch.drops++
+		n.chanCold[p.ch.idx].drops++
 	} else {
 		rt.unattributedDrops++
 	}

@@ -67,7 +67,7 @@ func TestChannelWiring(t *testing.T) {
 	// Every pair is mutually reversed.
 	for _, pr := range n.Pairs() {
 		if pr[0].Src != pr[1].Dst || pr[0].Dst != pr[1].Src {
-			t.Fatalf("pair not reversed: %v / %v", pr[0].L.Name, pr[1].L.Name)
+			t.Fatalf("pair not reversed: %v / %v", pr[0].Label(), pr[1].Label())
 		}
 	}
 }

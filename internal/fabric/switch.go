@@ -11,6 +11,11 @@ import (
 // Switch is an input/output-buffered crossbar switch. Input buffering is
 // expressed through the upstream sender's credit pool; output queues are
 // held here, and their depth in bytes is the adaptive routing signal.
+//
+// Switches are value entries in Network.swArr, and every per-port slice
+// below is a window into a dense backing array shared by all switches —
+// the fabric's struct-of-arrays layer. Network.New fills each Switch in
+// place; there is no constructor.
 type Switch struct {
 	net *Network
 	id  int
@@ -31,41 +36,12 @@ type Switch struct {
 
 	wakeAt      []sim.Time
 	wakePending []bool
-	wakeFns     []sim.Event // per-port wake closures, bound once
 
 	candBuf []int
 
 	// Diagnostics.
 	routedPackets int64
 	peakQueue     int64 // max output-queue depth seen, bytes
-}
-
-func newSwitch(n *Network, id, radix int, laneID uint64) *Switch {
-	rt := n.switchShard(id)
-	s := &Switch{
-		net:         n,
-		id:          id,
-		rt:          rt,
-		eng:         rt.eng,
-		lane:        sim.NewLane(laneID),
-		rng:         newRNG(n.Cfg.Seed, id),
-		out:         make([]*Chan, radix),
-		queues:      make([]pktQueue, radix),
-		queuedBytes: make([]int64, radix),
-		closing:     make([]bool, radix),
-		wakeAt:      make([]sim.Time, radix),
-		wakePending: make([]bool, radix),
-		wakeFns:     make([]sim.Event, radix),
-		candBuf:     make([]int, 0, radix),
-	}
-	for p := range s.wakeFns {
-		p := p
-		s.wakeFns[p] = func(now sim.Time) {
-			s.wakePending[p] = false
-			s.pumpOut(p, now)
-		}
-	}
-	return s
 }
 
 // ID returns the switch index.
@@ -173,7 +149,7 @@ func (s *Switch) choosePort(pkt *Packet, now sim.Time) int {
 		if ch == nil {
 			continue
 		}
-		if s.net.faultsEnabled && ch.failed {
+		if s.net.faultsEnabled && s.net.chanCold[ch.idx].failed {
 			continue
 		}
 		cost := s.queuedBytes[p]
@@ -221,7 +197,7 @@ func (s *Switch) scheduleWake(port int, at sim.Time) {
 	}
 	s.wakePending[port] = true
 	s.wakeAt[port] = at
-	s.eng.AtLane(at, &s.lane, s.wakeFns[port])
+	s.eng.AtArgLane(at, &s.lane, s.net.fnSwWake, s, int64(port))
 }
 
 // pumpOut transmits queued packets on a port while the channel and
@@ -289,7 +265,7 @@ func (s *Switch) rerouteQueue(port int, now sim.Time) {
 			s.net.dropPacket(s.rt, pkt, now, "no live route")
 			continue
 		}
-		if newPort == port && !(s.net.faultsEnabled && s.out[port].failed) {
+		if newPort == port && !(s.net.faultsEnabled && s.out[port].Failed()) {
 			// No alternative: keep it here and hope the controller
 			// powers the link back on; avoid infinite recursion.
 			s.queues[port].push(pkt)
@@ -307,7 +283,8 @@ func (s *Switch) rerouteQueue(port int, now sim.Time) {
 }
 
 // Host is a server NIC: an injection queue feeding the host's uplink
-// channel, and the sink side that records deliveries.
+// channel, and the sink side that records deliveries. Hosts are value
+// entries in Network.hostArr, filled in place by Network.New.
 type Host struct {
 	net *Network
 	id  int
@@ -324,16 +301,6 @@ type Host struct {
 
 	wakeAt      sim.Time
 	wakePending bool
-	wakeFn      sim.Event // bound once
-}
-
-func newHost(n *Network, id int, laneID uint64, rt *shardRT) *Host {
-	h := &Host{net: n, id: id, rt: rt, eng: rt.eng, lane: sim.NewLane(laneID)}
-	h.wakeFn = func(now sim.Time) {
-		h.wakePending = false
-		h.pump(now)
-	}
-	return h
 }
 
 // ID returns the host index.
@@ -348,7 +315,7 @@ func (h *Host) scheduleWake(at sim.Time) {
 	}
 	h.wakePending = true
 	h.wakeAt = at
-	h.eng.AtLane(at, &h.lane, h.wakeFn)
+	h.eng.AtArgLane(at, &h.lane, h.net.fnHostWake, h, 0)
 }
 
 // pump injects queued packets while the uplink and credits allow.

@@ -152,7 +152,7 @@ func (n *Network) RegisterMetrics(reg *telemetry.Registry) error {
 	}
 	for _, ch := range isc {
 		ch := ch
-		if err := drops.WithFunc(func() float64 { return float64(ch.drops) }, ch.Label()); err != nil {
+		if err := drops.WithFunc(func() float64 { return float64(ch.Drops()) }, ch.Label()); err != nil {
 			return err
 		}
 	}

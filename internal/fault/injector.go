@@ -218,7 +218,7 @@ func (inj *Injector) DegradeLink(now sim.Time, sw, port int, cap link.Rate) bool
 	}
 	if inj.Tracer != nil {
 		inj.Tracer.Instant("degrade-link", "fault", telemetry.PIDFaults, pr[0].Index(), now,
-			fmt.Sprintf(`"link":%q,"cap_gbps":%g`, pr[0].L.Name, cap.GbpsF()))
+			fmt.Sprintf(`"link":%q,"cap_gbps":%g`, pr[0].Label(), cap.GbpsF()))
 	}
 	return true
 }
@@ -242,7 +242,7 @@ func (inj *Injector) RestoreLink(now sim.Time, sw, port int) bool {
 	}
 	if inj.Tracer != nil {
 		inj.Tracer.Instant("restore-link", "fault", telemetry.PIDFaults, pr[0].Index(), now,
-			fmt.Sprintf(`"link":%q`, pr[0].L.Name))
+			fmt.Sprintf(`"link":%q`, pr[0].Label()))
 	}
 	return true
 }
@@ -307,7 +307,7 @@ func (inj *Injector) failPair(now sim.Time, pr [2]*fabric.Chan) bool {
 	}
 	if inj.Tracer != nil {
 		inj.Tracer.Instant("fail-link", "fault", telemetry.PIDFaults, pr[0].Index(), now,
-			fmt.Sprintf(`"link":%q`, pr[0].L.Name))
+			fmt.Sprintf(`"link":%q`, pr[0].Label()))
 	}
 	return true
 }
@@ -328,7 +328,7 @@ func (inj *Injector) repairPair(now sim.Time, pr [2]*fabric.Chan) bool {
 	if inj.Tracer != nil {
 		start := inj.downAt[pr]
 		inj.Tracer.Complete("outage", "fault", telemetry.PIDFaults, pr[0].Index(),
-			start, now-start, fmt.Sprintf(`"link":%q`, pr[0].L.Name))
+			start, now-start, fmt.Sprintf(`"link":%q`, pr[0].Label()))
 	}
 	delete(inj.downAt, pr)
 	return true

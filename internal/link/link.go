@@ -300,13 +300,26 @@ func NewChannel(name string, ladder RateLadder) (*Channel, error) {
 	if err := ladder.Validate(); err != nil {
 		return nil, err
 	}
-	return &Channel{
-		Name:   name,
+	c := &Channel{Name: name}
+	c.Init(ladder)
+	return c, nil
+}
+
+// Init initializes c in place as an Active channel at the ladder's
+// maximum rate — the value-type counterpart of NewChannel for callers
+// that keep channels in dense backing arrays (one allocation for the
+// whole fabric instead of one per channel). The ladder must already be
+// validated; a fabric validates its shared ladder once. Any prior state
+// of c except Name is discarded; accounting maps are allocated lazily
+// on the first rate transition, so an untouched channel costs exactly
+// its struct size.
+func (c *Channel) Init(ladder RateLadder) {
+	*c = Channel{
+		Name:   c.Name,
 		ladder: ladder,
 		rate:   ladder.Max(),
 		state:  Active,
-		atRate: make(map[Rate]sim.Time),
-	}, nil
+	}
 }
 
 // MustChannel is NewChannel that panics on error.
@@ -350,6 +363,12 @@ func (c *Channel) account(now sim.Time) {
 	} else {
 		// Reconfiguration time is charged at the target rate, a
 		// conservative choice: the SerDes is powered while re-locking.
+		// The map is lazy: channels that never close an accounting slice
+		// (idle links in a fabric of hundreds of thousands) never pay
+		// for it.
+		if c.atRate == nil {
+			c.atRate = make(map[Rate]sim.Time, len(c.ladder))
+		}
 		c.atRate[c.rate] += dt
 	}
 	c.lastChange = now
@@ -558,7 +577,7 @@ func (c *Channel) TotalPackets() int64 { return c.totalPackets }
 // preserved.
 func (c *Channel) ResetAccounting(now sim.Time) {
 	c.account(now)
-	c.atRate = make(map[Rate]sim.Time)
+	c.atRate = nil // reallocated lazily by the next account slice
 	c.offTime = 0
 	c.totalBytes = 0
 	c.totalPackets = 0

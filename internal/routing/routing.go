@@ -87,15 +87,25 @@ type FBFLY struct {
 	// from the bandwidth domain.
 	dead map[int]bool
 
-	// cands caches the inter-switch candidate set per (switch,
-	// destination switch): the set depends only on that pair, the
-	// dimension modes, and the dead ports, so the per-dimension
-	// coordinate walk runs once per destination group instead of once
-	// per packet. gen invalidates every entry at once when SetDead or
+	// coords[sw*D+d] is switch sw's coordinate in dimension d,
+	// precomputed once so the per-packet dimension walk does no
+	// division. O(switches·dims) — the only per-switch state the
+	// router materializes eagerly.
+	coords []int32
+
+	// rows caches candidate ports per (switch, dimension, wanted
+	// coordinate): rows[sw] — allocated the first time switch sw routes
+	// off-switch — holds D·K entries indexed d·K + want. A packet's
+	// candidate set is the concatenation over its mismatched dimensions
+	// in dimension order, which reproduces, entry for entry, the
+	// per-destination-pair walk this cache replaces; but the footprint
+	// is O(switches·dims·k) where the pair cache was O(switches²) — the
+	// difference between ~5 MB and ~670 MB at the paper's 32k-host
+	// 8-ary 5-flat. gen invalidates every entry at once when SetDead or
 	// SetMode changes the routing function. Rows are indexed by the
 	// calling switch, so concurrent shards touch disjoint entries.
-	cands [][]candEntry
-	gen   uint64
+	rows [][]candEntry
+	gen  uint64
 }
 
 // candEntry is one cached candidate set; gen 0 is never current, so the
@@ -108,11 +118,15 @@ type candEntry struct {
 // NewFBFLY returns a minimal adaptive router for f with all dimensions
 // in full (flattened butterfly) mode.
 func NewFBFLY(f *topo.FBFLY) *FBFLY {
-	cands := make([][]candEntry, f.NumSwitches())
-	for i := range cands {
-		cands[i] = make([]candEntry, f.NumSwitches())
+	coords := make([]int32, f.NumSwitches()*f.D)
+	buf := make([]int, f.D)
+	for sw := 0; sw < f.NumSwitches(); sw++ {
+		for d, v := range f.CoordsInto(sw, buf) {
+			coords[sw*f.D+d] = int32(v)
+		}
 	}
-	return &FBFLY{F: f, Modes: make([]DimMode, f.D), cands: cands, gen: 1}
+	return &FBFLY{F: f, Modes: make([]DimMode, f.D), coords: coords,
+		rows: make([][]candEntry, f.NumSwitches()), gen: 1}
 }
 
 // SetDead marks or clears a failed inter-switch port.
@@ -173,75 +187,87 @@ func (r *FBFLY) SetMode(d int, m DimMode) {
 	r.gen++
 }
 
-// Candidates implements Router.
+// Candidates implements Router. The inter-switch set is assembled from
+// the per-(switch, dimension, wanted coordinate) cache: within one
+// dimension the candidate ports depend only on the switch's own
+// coordinate (fixed per switch) and the destination's coordinate in
+// that dimension, never on the other dimensions, so the per-dimension
+// entries compose into exactly the per-destination set.
 func (r *FBFLY) Candidates(sw, dst int, buf []int) []int {
 	dstSw, dstPort := r.F.HostAttachment(dst)
 	if sw == dstSw {
 		return append(buf, dstPort)
 	}
-	e := &r.cands[sw][dstSw]
-	if e.gen != r.gen {
-		e.ports = r.compute(sw, dstSw, e.ports[:0])
-		e.gen = r.gen
+	d1, k := r.F.D, r.F.K
+	row := r.rows[sw]
+	if row == nil {
+		row = make([]candEntry, d1*k)
+		r.rows[sw] = row
 	}
-	return append(buf, e.ports...)
-}
-
-// compute appends the inter-switch candidate set for packets at sw bound
-// for dstSw — the cached half of Candidates.
-func (r *FBFLY) compute(sw, dstSw int, buf []int) []int {
-	f := r.F
-	for d := 0; d < f.D; d++ {
-		own := f.Coord(sw, d)
-		want := f.Coord(dstSw, d)
-		if own == want {
+	sc := r.coords[sw*d1 : sw*d1+d1]
+	dc := r.coords[dstSw*d1 : dstSw*d1+d1]
+	for d := 0; d < d1; d++ {
+		want := dc[d]
+		if sc[d] == want {
 			continue
 		}
-		switch r.Mode(d) {
-		case DimFull:
-			direct := f.PortToPeer(sw, d, want)
-			if !r.Dead(sw, direct) {
-				buf = append(buf, direct)
+		e := &row[d*k+int(want)]
+		if e.gen != r.gen {
+			e.ports = r.computeDim(sw, d, int(sc[d]), int(want), e.ports[:0])
+			e.gen = r.gen
+		}
+		buf = append(buf, e.ports...)
+	}
+	return buf
+}
+
+// computeDim appends the candidate ports that correct dimension d from
+// coordinate own to want at switch sw — the cached unit of Candidates.
+func (r *FBFLY) computeDim(sw, d, own, want int, buf []int) []int {
+	f := r.F
+	switch r.Mode(d) {
+	case DimFull:
+		direct := f.PortToPeer(sw, d, want)
+		if !r.Dead(sw, direct) {
+			return append(buf, direct)
+		}
+		// The direct link failed: misroute through any live peer in
+		// this dimension (one extra hop).
+		for v := 0; v < f.K; v++ {
+			if v == own || v == want {
 				continue
 			}
-			// The direct link failed: misroute through any live peer in
-			// this dimension (one extra hop).
-			for v := 0; v < f.K; v++ {
-				if v == own || v == want {
-					continue
-				}
-				if p := f.PortToPeer(sw, d, v); !r.Dead(sw, p) {
-					buf = append(buf, p)
-				}
+			if p := f.PortToPeer(sw, d, v); !r.Dead(sw, p) {
+				buf = append(buf, p)
 			}
-		case DimRing:
-			k := f.K
-			fwd := (want - own + k) % k
-			bwd := (own - want + k) % k
-			// With failures present, greedy shortest-way routing can
-			// steer into a dead ring link partway around; walk each arc
-			// and only offer directions that reach the target coordinate
-			// over live links. Fault-free rings skip the walks entirely.
-			blockedFwd, blockedBwd := false, false
-			if len(r.dead) > 0 {
-				blockedFwd = r.arcBlocked(sw, d, own, want, +1)
-				blockedBwd = r.arcBlocked(sw, d, own, want, -1)
+		}
+	case DimRing:
+		k := f.K
+		fwd := (want - own + k) % k
+		bwd := (own - want + k) % k
+		// With failures present, greedy shortest-way routing can
+		// steer into a dead ring link partway around; walk each arc
+		// and only offer directions that reach the target coordinate
+		// over live links. Fault-free rings skip the walks entirely.
+		blockedFwd, blockedBwd := false, false
+		if len(r.dead) > 0 {
+			blockedFwd = r.arcBlocked(sw, d, own, want, +1)
+			blockedBwd = r.arcBlocked(sw, d, own, want, -1)
+		}
+		if (fwd <= bwd || blockedBwd) && !blockedFwd {
+			buf = append(buf, f.PortToPeer(sw, d, (own+1)%k))
+		}
+		if (bwd <= fwd || blockedFwd) && !blockedBwd {
+			buf = append(buf, f.PortToPeer(sw, d, (own-1+k)%k))
+		}
+	case DimLine:
+		if want > own {
+			if len(r.dead) == 0 || !r.arcBlocked(sw, d, own, want, +1) {
+				buf = append(buf, f.PortToPeer(sw, d, own+1))
 			}
-			if (fwd <= bwd || blockedBwd) && !blockedFwd {
-				buf = append(buf, f.PortToPeer(sw, d, (own+1)%k))
-			}
-			if (bwd <= fwd || blockedFwd) && !blockedBwd {
-				buf = append(buf, f.PortToPeer(sw, d, (own-1+k)%k))
-			}
-		case DimLine:
-			if want > own {
-				if len(r.dead) == 0 || !r.arcBlocked(sw, d, own, want, +1) {
-					buf = append(buf, f.PortToPeer(sw, d, own+1))
-				}
-			} else {
-				if len(r.dead) == 0 || !r.arcBlocked(sw, d, own, want, -1) {
-					buf = append(buf, f.PortToPeer(sw, d, own-1))
-				}
+		} else {
+			if len(r.dead) == 0 || !r.arcBlocked(sw, d, own, want, -1) {
+				buf = append(buf, f.PortToPeer(sw, d, own-1))
 			}
 		}
 	}

@@ -83,13 +83,22 @@ func (f *FBFLY) Radix() int { return f.C + (f.K-1)*f.D }
 // Coord returns the coordinate of switch sw in dimension dim.
 func (f *FBFLY) Coord(sw, dim int) int { return sw / f.strides[dim] % f.K }
 
-// Coords returns all D coordinates of switch sw.
+// Coords returns all D coordinates of switch sw. It allocates; hot
+// loops should use CoordsInto with a reused buffer.
 func (f *FBFLY) Coords(sw int) []int {
-	c := make([]int, f.D)
-	for d := range c {
-		c[d] = f.Coord(sw, d)
+	return f.CoordsInto(sw, make([]int, f.D))
+}
+
+// CoordsInto writes all D coordinates of switch sw into buf, which must
+// have length at least D, and returns buf[:D]. It is the
+// allocation-free form of Coords for construction and routing loops
+// that decompose many switch indices.
+func (f *FBFLY) CoordsInto(sw int, buf []int) []int {
+	buf = buf[:f.D]
+	for d, stride := range f.strides {
+		buf[d] = sw / stride % f.K
 	}
-	return c
+	return buf
 }
 
 // SwitchAt returns the switch index with the given coordinates.

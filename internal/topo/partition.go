@@ -71,18 +71,40 @@ func validPartition(assign []int, numSwitches, shards int) bool {
 // minimizes. Host attachment channels never cross: hosts follow their
 // switch.
 func CrossShardChannels(t Topology, assign []int) (cross, total int) {
-	for sw := 0; sw < t.NumSwitches(); sw++ {
-		for p := 0; p < t.Radix(); p++ {
-			peer, ok := t.Peer(sw, p)
-			if !ok || peer.Kind != KindSwitch {
-				continue
-			}
-			total++
-			if assign[sw] != assign[peer.ID] {
-				cross++
+	if f, ok := t.(*FBFLY); ok {
+		// Fast path for the partitioner's own tuning loop: a flattened
+		// butterfly's dimension-d peers of switch sw are sw + (v-own)·
+		// stride(d) for every coordinate v ≠ own, so one CoordsInto per
+		// switch replaces the div/mod chain Peer would run per port.
+		coords := make([]int, f.D)
+		for sw := 0; sw < f.numSwitches; sw++ {
+			f.CoordsInto(sw, coords)
+			for d, stride := range f.strides {
+				own := coords[d]
+				for v := 0; v < f.K; v++ {
+					if v == own {
+						continue
+					}
+					total++
+					if assign[sw] != assign[sw+(v-own)*stride] {
+						cross++
+					}
+				}
 			}
 		}
+		return cross, total
 	}
+	// Each undirected inter-switch link carries one directed channel per
+	// endpoint, so the streamed walk counts every link it visits twice.
+	VisitLinks(t, func(l Link) bool {
+		if l.A.Kind == KindSwitch && l.B.Kind == KindSwitch {
+			total += 2
+			if assign[l.A.ID] != assign[l.B.ID] {
+				cross += 2
+			}
+		}
+		return true
+	})
 	return cross, total
 }
 

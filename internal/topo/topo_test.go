@@ -1,0 +1,178 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+)
+
+// referenceLinks enumerates links the way the pre-streaming code did:
+// host attachments first, then a raw sweep over every (switch, port)
+// keeping each switch-switch link from its lexicographically smaller
+// endpoint. VisitLinks must reproduce this sequence exactly — the
+// fabric's channel index layout is defined in terms of it.
+func referenceLinks(t Topology) []Link {
+	var out []Link
+	for h := 0; h < t.NumHosts(); h++ {
+		sw, port := t.HostAttachment(h)
+		out = append(out, Link{
+			A:     Endpoint{Kind: KindHost, ID: h},
+			B:     Endpoint{Kind: KindSwitch, ID: sw, Port: port},
+			Class: t.LinkClass(sw, port),
+		})
+	}
+	for sw := 0; sw < t.NumSwitches(); sw++ {
+		for p := 0; p < t.Radix(); p++ {
+			peer, ok := t.Peer(sw, p)
+			if !ok || peer.Kind != KindSwitch {
+				continue
+			}
+			if peer.ID < sw || (peer.ID == sw && peer.Port < p) {
+				continue
+			}
+			out = append(out, Link{
+				A:     Endpoint{Kind: KindSwitch, ID: sw, Port: p},
+				B:     peer,
+				Class: t.LinkClass(sw, p),
+			})
+		}
+	}
+	return out
+}
+
+func testTopologies() map[string]Topology {
+	return map[string]Topology{
+		"fbfly-4-2-2":   MustFBFLY(4, 2, 2),
+		"fbfly-3-3-4":   MustFBFLY(3, 3, 4),
+		"clos3-4":       MustClos3(4),
+		"fattree-4-6-3": MustFatTree(4, 6, 3),
+	}
+}
+
+func TestVisitLinksMatchesReference(t *testing.T) {
+	for name, tp := range testTopologies() {
+		want := referenceLinks(tp)
+		var got []Link
+		VisitLinks(tp, func(l Link) bool {
+			got = append(got, l)
+			return true
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: VisitLinks order diverges from reference enumeration", name)
+		}
+		if links := Links(tp); !reflect.DeepEqual(links, want) {
+			t.Errorf("%s: Links() diverges from reference enumeration", name)
+		}
+	}
+}
+
+func TestVisitLinksEarlyStop(t *testing.T) {
+	tp := MustFBFLY(4, 2, 2)
+	total := len(Links(tp))
+	for _, stopAfter := range []int{1, 2, tp.NumHosts(), total - 1} {
+		calls := 0
+		VisitLinks(tp, func(Link) bool {
+			calls++
+			return calls < stopAfter
+		})
+		if calls != stopAfter {
+			t.Errorf("stop after %d: fn called %d times", stopAfter, calls)
+		}
+	}
+}
+
+func TestVisitSwitchLinksCoversEachLinkOnce(t *testing.T) {
+	for name, tp := range testTopologies() {
+		seen := map[[2]Endpoint]int{}
+		owned := 0
+		for sw := 0; sw < tp.NumSwitches(); sw++ {
+			lastPort := -1
+			VisitSwitchLinks(tp, sw, func(p int, peer Endpoint, _ LinkClass) bool {
+				if p <= lastPort {
+					t.Errorf("%s: sw%d ports not ascending (%d after %d)", name, sw, p, lastPort)
+				}
+				lastPort = p
+				a := Endpoint{Kind: KindSwitch, ID: sw, Port: p}
+				if peer.ID < sw || (peer.ID == sw && peer.Port < p) {
+					t.Errorf("%s: sw%d.p%d visited a link it does not own (peer %v)", name, sw, p, peer)
+				}
+				seen[[2]Endpoint{a, peer}]++
+				owned++
+				return true
+			})
+		}
+		wantInter := 0
+		for _, l := range Links(tp) {
+			if l.A.Kind == KindSwitch && l.B.Kind == KindSwitch {
+				wantInter++
+				if seen[[2]Endpoint{l.A, l.B}] != 1 {
+					t.Errorf("%s: link %v-%v visited %d times", name, l.A, l.B, seen[[2]Endpoint{l.A, l.B}])
+				}
+			}
+		}
+		if owned != wantInter {
+			t.Errorf("%s: VisitSwitchLinks yielded %d links, topology has %d", name, owned, wantInter)
+		}
+	}
+}
+
+// brokenPeer wraps a topology, corrupting Peer for one switch port so
+// the back-pointer invariant fails. ValidateSample must catch it when
+// its sample covers the whole population (the exhaustive degenerate
+// case), proving the sampled checks are the real checks.
+type brokenPeer struct {
+	Topology
+	sw, port int
+}
+
+func (b brokenPeer) Peer(sw, port int) (Endpoint, bool) {
+	if sw == b.sw && port == b.port {
+		return Endpoint{}, false
+	}
+	return b.Topology.Peer(sw, port)
+}
+
+func TestValidateSample(t *testing.T) {
+	for name, tp := range testTopologies() {
+		if err := Validate(tp); err != nil {
+			t.Fatalf("%s: Validate: %v", name, err)
+		}
+		for _, samples := range []int{1, 7, 1 << 20} {
+			if err := ValidateSample(tp, samples, 42); err != nil {
+				t.Errorf("%s: ValidateSample(%d): %v", name, samples, err)
+			}
+		}
+	}
+	if err := ValidateSample(MustFBFLY(4, 2, 2), 0, 1); err == nil {
+		t.Error("ValidateSample accepted a zero sample count")
+	}
+
+	// Corrupt one attachment port: the exhaustive degenerate pass must
+	// report it, and the property-style pass must find it eventually
+	// across seeds.
+	base := MustFBFLY(4, 2, 2)
+	sw, port := base.HostAttachment(0)
+	broken := brokenPeer{Topology: base, sw: sw, port: port}
+	if err := ValidateSample(broken, 1<<20, 1); err == nil {
+		t.Fatal("exhaustive ValidateSample missed a corrupted attachment")
+	}
+	caught := false
+	for seed := int64(0); seed < 64 && !caught; seed++ {
+		caught = ValidateSample(broken, 4, seed) != nil
+	}
+	if !caught {
+		t.Error("sampled ValidateSample never hit the corrupted attachment in 64 seeds")
+	}
+}
+
+// TestValidateSampleAtScale spot-checks the two acceptance-scale
+// topologies (32k-host flattened butterfly, 10⁵-host Clos) at a cost a
+// test budget tolerates; the topologies are closed-form so only the
+// sampled entities are ever touched.
+func TestValidateSampleAtScale(t *testing.T) {
+	if err := ValidateSample(MustFBFLY(8, 5, 8), 2048, 7); err != nil {
+		t.Errorf("fbfly 8-ary 5-flat: %v", err)
+	}
+	if err := ValidateSample(MustClos3(74), 2048, 7); err != nil {
+		t.Errorf("clos3-74: %v", err)
+	}
+}
